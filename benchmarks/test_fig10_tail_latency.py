@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Fig. 10 (p99 tail latency vs load, TATP)."""
+
+from conftest import run_once
+
+from repro.harness import run_experiment
+
+
+def test_fig10_tail_latency(benchmark, harness_scale):
+    result = run_once(benchmark, run_experiment, "fig10",
+                      scale=harness_scale)
+    print("\n" + result.format_table())
+
+    rows = {row[0]: row for row in result.rows}
+    low = min(rows)
+    high = max(rows)
+
+    # At low load AstriFlash's p99 is dominated by requests that touch
+    # flash: well above DRAM-only.
+    assert rows[low][4] > 2.0 * rows[low][2]
+    # At high load both sustain throughput; AstriFlash gives up only a
+    # few percent (paper: 93% vs 96%).
+    assert rows[high][3] > rows[high][1] - 0.12
+    # The gap narrows as queueing absorbs the flash latency: the
+    # AstriFlash/DRAM p99 ratio shrinks from low to high load.
+    low_ratio = rows[low][4] / rows[low][2]
+    high_ratio = rows[high][4] / rows[high][2]
+    assert high_ratio < low_ratio

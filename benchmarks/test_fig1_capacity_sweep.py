@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Fig. 1 (miss ratio / flash bandwidth vs DRAM
+capacity) and check the paper's shape."""
+
+from conftest import run_once
+
+from repro.harness import run_experiment
+
+
+def test_fig1_capacity_sweep(benchmark, harness_scale):
+    result = run_once(benchmark, run_experiment, "fig1",
+                      scale=harness_scale, steps_per_workload=40_000)
+    print("\n" + result.format_table())
+
+    caps = result.column("dram_capacity_pct")
+    misses = dict(zip(caps, result.column("miss_ratio")))
+    bandwidth = dict(zip(caps, result.column("flash_bw_gbps_64cores")))
+
+    # Miss rate monotonically improves and flattens: the 1%->3% gain
+    # dwarfs the 3%->10% gain (the knee the paper sizes DRAM at).
+    assert misses[1.0] > misses[3.0] > misses[10.0]
+    assert misses[1.0] - misses[3.0] > misses[3.0] - misses[10.0]
+    # The knee's bandwidth is the paper's ~60 GB/s order of magnitude
+    # and fits multiple-SSD PCIe Gen5 provisioning.
+    assert 20.0 < bandwidth[3.0] < 150.0

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig. 2 (async paging does not scale)."""
+
+from conftest import run_once
+
+from repro.harness import run_experiment
+
+
+def test_fig2_paging_overheads(benchmark, harness_scale):
+    result = run_once(benchmark, run_experiment, "fig2",
+                      scale=harness_scale)
+    print("\n" + result.format_table())
+
+    by_cores = {row[0]: row for row in result.rows}
+    # One core: the 10 us per-miss overhead halves throughput.
+    assert abs(by_cores[1][2] - 0.5) < 0.05
+    # The shootdown broadcast makes scaling collapse at 64 cores.
+    assert by_cores[64][2] < 0.05
+    # Normalized throughput is monotonically non-increasing in cores.
+    series = [row[2] for row in result.rows]
+    assert all(b <= a + 1e-9 for a, b in zip(series, series[1:]))

@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Fig. 3 (analytic p99 latency vs load)."""
+
+import math
+
+from conftest import run_once
+
+from repro.harness import run_experiment
+from repro.harness.fig3 import max_load_within_slo
+
+
+def test_fig3_analytic_model(benchmark, harness_scale):
+    result = run_once(benchmark, run_experiment, "fig3",
+                      scale=harness_scale)
+    print("\n" + result.format_table())
+
+    loads = result.column("load")
+    sync = dict(zip(loads, result.column("flash-sync")))
+    swap = dict(zip(loads, result.column("os-swap")))
+    dram = dict(zip(loads, result.column("dram-only")))
+    astri = dict(zip(loads, result.column("astriflash")))
+
+    # Flash-Sync loses >80% of throughput: unstable beyond ~0.17 load.
+    assert math.isinf(sync[0.2])
+    # OS-Swap loses ~50%.
+    assert math.isfinite(swap[0.4]) and math.isinf(swap[0.6])
+    # AstriFlash tracks DRAM-only to high load.
+    assert math.isfinite(astri[0.95])
+    assert astri[0.9] / dram[0.9] < 1.3
+
+    # Sec. III-A: an SLO of 40x the average service time puts
+    # AstriFlash within ~20% of the DRAM-only system.
+    sustained = max_load_within_slo(40.0)
+    assert sustained["astriflash"] >= sustained["dram-only"] - 0.25

@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Fig. 9 (throughput normalized to DRAM-only).
+
+Paper: AstriFlash ~95% (Ideal ~96%), OS-Swap ~58%, Flash-Sync ~27% of
+the DRAM-only system's throughput; TPCC degrades most under AstriFlash.
+"""
+
+from conftest import run_once
+
+from repro.harness import run_experiment
+
+
+def test_fig9_throughput(benchmark, harness_scale):
+    result = run_once(benchmark, run_experiment, "fig9",
+                      scale=harness_scale)
+    print("\n" + result.format_table())
+
+    geomean = dict(zip(result.columns[1:], result.rows[-1][1:]))
+    # Ordering: Flash-Sync << OS-Swap << AstriFlash <~ Ideal < 1.
+    assert geomean["flash-sync"] < geomean["os-swap"]
+    assert geomean["os-swap"] < geomean["astriflash"]
+    assert geomean["astriflash"] <= 1.05
+    # Rough factors from the paper.
+    assert geomean["astriflash"] > 0.75
+    assert geomean["os-swap"] < 0.75
+    assert geomean["flash-sync"] < 0.45
+
+    # TPCC (compute-heavy ROB) pays the largest AstriFlash penalty
+    # among the workloads present.
+    rows = {row[0]: dict(zip(result.columns[1:], row[1:]))
+            for row in result.rows[:-1]}
+    if "tpcc" in rows:
+        others = [rows[w]["astriflash"] for w in rows if w != "tpcc"]
+        assert rows["tpcc"]["astriflash"] <= min(others) + 0.05

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table I (system parameters)."""
+
+from conftest import run_once
+
+from repro.harness import run_experiment
+
+
+def test_table1_parameters(benchmark, harness_scale):
+    result = run_once(benchmark, run_experiment, "table1",
+                      scale=harness_scale)
+    print("\n" + result.format_table())
+
+    text = result.format_table()
+    for expected in ("Cortex-A76", "128 / 32 entries", "50 us",
+                     "100 ns switch", "3 cycles/command",
+                     "priority-aging"):
+        assert expected in text

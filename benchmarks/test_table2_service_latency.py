@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table II (p99 service latency normalized to
+Flash-Sync).
+
+Paper: AstriFlash ~1.02x, AstriFlash-noPS ~7x, AstriFlash-noDP ~1.7x.
+"""
+
+from conftest import run_once
+
+from repro.harness import run_experiment
+
+
+def test_table2_service_latency(benchmark, harness_scale):
+    result = run_once(benchmark, run_experiment, "table2",
+                      scale=harness_scale)
+    print("\n" + result.format_table())
+
+    values = {row[0]: row[1] for row in result.rows}
+    assert values["flash-sync"] == 1.0
+    # AstriFlash stays close to the Flash-Sync service distribution.
+    assert values["astriflash"] < 1.6
+    # Dropping priority scheduling starves pending jobs.
+    assert values["astriflash-nops"] > 2.0 * values["astriflash"]
+    # Dropping DRAM partitioning pays for flash-served page walks.
+    assert values["astriflash-nodp"] > values["astriflash"]

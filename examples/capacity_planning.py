@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Capacity planning: how much DRAM does a flash-backed service need?
+
+Walks the Sec. II-A methodology end to end for a hypothetical service:
+
+1. sweep the DRAM-to-flash ratio and measure the miss ratio of the
+   DRAM tier on a real workload trace (LRU at page granularity);
+2. apply Equation 1 to translate miss ratios into flash bandwidth and
+   check the result against a PCIe Gen5 budget;
+3. apply the cost model to report the memory-cost reduction vs an
+   all-DRAM deployment (the paper's 20x claim at 3%).
+
+Usage:  python examples/capacity_planning.py
+"""
+
+from repro.analytic import (
+    PCIE_GEN5_BANDWIDTH_GBPS,
+    cost_reduction_factor,
+    flash_bandwidth_total_gbps,
+)
+from repro.harness.fig1 import lru_miss_ratio, workload_trace
+from repro.harness.common import QUICK
+
+NUM_CORES = 64
+FRACTIONS = (0.01, 0.02, 0.03, 0.05, 0.10)
+WORKLOAD = "silo"
+
+
+def main() -> None:
+    print(f"Tracing the '{WORKLOAD}' workload "
+          f"({QUICK.dataset_pages} dataset pages)...")
+    trace = workload_trace(WORKLOAD, QUICK, num_steps=80_000, seed=7)
+
+    print(f"\n{'DRAM %':>7} {'miss':>7} {'flash BW (GB/s)':>16} "
+          f"{'fits PCIe5':>11} {'memory-cost cut':>16}")
+    chosen = None
+    for fraction in FRACTIONS:
+        capacity = max(1, int(QUICK.dataset_pages * fraction))
+        miss = lru_miss_ratio(trace, capacity)
+        bandwidth = flash_bandwidth_total_gbps(miss, NUM_CORES)
+        fits = bandwidth <= PCIE_GEN5_BANDWIDTH_GBPS
+        reduction = cost_reduction_factor(dram_fraction=fraction)
+        print(f"{fraction:7.0%} {miss:7.2%} {bandwidth:16.1f} "
+              f"{'yes' if fits else 'NO':>11} {reduction:15.1f}x")
+        if chosen is None and fits:
+            chosen = (fraction, miss, bandwidth, reduction)
+
+    if chosen:
+        fraction, miss, bandwidth, reduction = chosen
+        print(f"\nRecommendation: provision DRAM at {fraction:.0%} of the "
+              f"dataset.")
+        print(f"  steady-state miss ratio  {miss:.2%}")
+        print(f"  flash bandwidth needed   {bandwidth:.1f} GB/s "
+              f"for {NUM_CORES} cores (PCIe Gen5 budget: "
+              f"{PCIE_GEN5_BANDWIDTH_GBPS:.0f} GB/s)")
+        print(f"  memory cost reduction    {reduction:.1f}x vs all-DRAM")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""AstriFlash (HPCA 2023) reproduction library.
+
+A discrete-event simulator and analytic toolkit for flash-based memory
+systems serving online services: a hardware-managed DRAM cache over
+NAND flash with a microsecond-scale switch-on-miss architecture and
+user-level threading, plus the OS-paging and synchronous-flash
+baselines the paper evaluates against.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,53 @@
+"""Memory-cost model behind the paper's 20x claim.
+
+Flash enjoys roughly a 50x $/GB advantage over DRAM (Sec. I); hosting a
+1 TB dataset on flash with a 3 % DRAM cache therefore costs about 20x
+less than hosting it entirely in DRAM:
+
+    cost(DRAM-only) = D * p
+    cost(AstriFlash) = 0.03 * D * p + D * p/50  ~= D * p / 20
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+# Paper assumptions.
+FLASH_PRICE_ADVANTAGE = 50.0        # DRAM $/GB divided by flash $/GB
+DEFAULT_DRAM_FRACTION = 0.03
+DEFAULT_DRAM_PRICE_PER_GB = 4.0     # USD, order-of-magnitude server DRAM
+
+
+def dram_only_cost(dataset_gb: float,
+                   dram_price_per_gb: float = DEFAULT_DRAM_PRICE_PER_GB
+                   ) -> float:
+    """Memory cost of hosting the whole dataset in DRAM."""
+    if dataset_gb <= 0:
+        raise ConfigurationError("dataset size must be positive")
+    return dataset_gb * dram_price_per_gb
+
+
+def astriflash_cost(dataset_gb: float,
+                    dram_fraction: float = DEFAULT_DRAM_FRACTION,
+                    dram_price_per_gb: float = DEFAULT_DRAM_PRICE_PER_GB,
+                    flash_price_advantage: float = FLASH_PRICE_ADVANTAGE
+                    ) -> float:
+    """Memory cost of a DRAM-cache + flash hierarchy for the dataset."""
+    if not 0.0 < dram_fraction <= 1.0:
+        raise ConfigurationError("dram fraction out of (0,1]")
+    if flash_price_advantage <= 0:
+        raise ConfigurationError("price advantage must be positive")
+    dram_cost = dataset_gb * dram_fraction * dram_price_per_gb
+    flash_cost = dataset_gb * dram_price_per_gb / flash_price_advantage
+    return dram_cost + flash_cost
+
+
+def cost_reduction_factor(dataset_gb: float = 1024.0,
+                          dram_fraction: float = DEFAULT_DRAM_FRACTION,
+                          flash_price_advantage: float = FLASH_PRICE_ADVANTAGE
+                          ) -> float:
+    """How many times cheaper AstriFlash's memory is (the 20x claim)."""
+    return dram_only_cost(dataset_gb) / astriflash_cost(
+        dataset_gb, dram_fraction=dram_fraction,
+        flash_price_advantage=flash_price_advantage,
+    )

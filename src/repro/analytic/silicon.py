@@ -1,0 +1,77 @@
+"""Silicon-overhead model for the ASO store-buffer extension.
+
+Sec. IV-C4 costs the post-retirement speculation hardware:
+
+* four additional physical registers per Store Buffer entry
+  (32 x 4 = 128 registers = 1 KiB of SRAM at 8 B per register);
+* one map-table entry per SB store (32 architectural registers x 8-bit
+  PRF indices = 32 B each; 32 entries = 1 KiB);
+* total ~2 KiB, which at 7 nm SRAM density (~2 MB/mm^2) is ~0.001 mm^2
+  — about 0.1 % of a 1.3 mm^2 Cortex-A76.
+
+This module reproduces that arithmetic from a :class:`CoreConfig` so
+the area claim is checkable against any core configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.system import CoreConfig
+from repro.errors import ConfigurationError
+from repro.units import KIB
+
+# Paper assumptions (Sec. IV-C4).
+BYTES_PER_PHYSICAL_REGISTER = 8
+PRF_INDEX_BITS = 8
+SRAM_DENSITY_MB_PER_MM2 = 2.0       # 7 nm projection
+CORTEX_A76_AREA_MM2 = 1.3
+
+
+@dataclass(frozen=True)
+class AsoSiliconEstimate:
+    """Area bill of the ASO extension for one core."""
+
+    extra_registers: int
+    register_file_bytes: int
+    map_table_bytes: int
+    total_bytes: int
+    area_mm2: float
+    fraction_of_core: float
+
+    def describe(self) -> str:
+        return (
+            f"+{self.extra_registers} PRF registers "
+            f"({self.register_file_bytes / KIB:.1f} KiB) "
+            f"+ map tables ({self.map_table_bytes / KIB:.1f} KiB) "
+            f"= {self.total_bytes / KIB:.1f} KiB, "
+            f"{self.area_mm2:.4f} mm^2 "
+            f"({self.fraction_of_core:.2%} of the core)"
+        )
+
+
+def aso_silicon_estimate(config: CoreConfig,
+                         core_area_mm2: float = CORTEX_A76_AREA_MM2,
+                         sram_density_mb_per_mm2: float =
+                         SRAM_DENSITY_MB_PER_MM2) -> AsoSiliconEstimate:
+    """Reproduce the paper's Sec. IV-C4 area arithmetic."""
+    if core_area_mm2 <= 0 or sram_density_mb_per_mm2 <= 0:
+        raise ConfigurationError("area and density must be positive")
+    extra_registers = (config.store_buffer_entries
+                       * config.registers_per_speculative_store)
+    register_file_bytes = extra_registers * BYTES_PER_PHYSICAL_REGISTER
+    # One map-table entry per SB store: an 8-bit PRF index per
+    # architectural register.
+    entry_bytes = config.architectural_registers * PRF_INDEX_BITS // 8
+    map_table_bytes = config.store_buffer_entries * entry_bytes
+    total_bytes = register_file_bytes + map_table_bytes
+    bytes_per_mm2 = sram_density_mb_per_mm2 * 1024 * 1024
+    area = total_bytes / bytes_per_mm2
+    return AsoSiliconEstimate(
+        extra_registers=extra_registers,
+        register_file_bytes=register_file_bytes,
+        map_table_bytes=map_table_bytes,
+        total_bytes=total_bytes,
+        area_mm2=area,
+        fraction_of_core=area / core_area_mm2,
+    )

@@ -1,0 +1,154 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``experiments``                 — list the regenerable paper artifacts
+* ``run <experiment> [--scale]``  — regenerate one figure/table
+* ``run-all [--scale]``           — regenerate everything
+* ``simulate``                    — one ad-hoc simulation run
+* ``workloads`` / ``configs``     — list registries
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import EVALUATED_CONFIG_NAMES, make_config
+from repro.core import Runner
+from repro.harness import EXPERIMENTS, run_experiment
+from repro.units import US
+from repro.workloads import (
+    EVALUATED_WORKLOADS,
+    PoissonArrivals,
+    make_workload,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AstriFlash (HPCA 2023) reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("experiments",
+                        help="list regenerable paper artifacts")
+    commands.add_parser("workloads", help="list workloads")
+    commands.add_parser("configs", help="list system configurations")
+
+    run_parser = commands.add_parser("run", help="regenerate one artifact")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_parser.add_argument("--scale", default="quick",
+                            choices=("quick", "full"))
+
+    all_parser = commands.add_parser("run-all",
+                                     help="regenerate every artifact")
+    all_parser.add_argument("--scale", default="quick",
+                            choices=("quick", "full"))
+
+    report_parser = commands.add_parser(
+        "report", help="regenerate everything into a report file "
+                       "(tables + ASCII charts)")
+    report_parser.add_argument("--scale", default="quick",
+                               choices=("quick", "full"))
+    report_parser.add_argument("--out", default="repro_report.txt")
+
+    sim_parser = commands.add_parser("simulate", help="one ad-hoc run")
+    sim_parser.add_argument("--config", default="astriflash",
+                            choices=EVALUATED_CONFIG_NAMES)
+    sim_parser.add_argument("--workload", default="tatp",
+                            choices=EVALUATED_WORKLOADS)
+    sim_parser.add_argument("--cores", type=int, default=2)
+    sim_parser.add_argument("--dataset-pages", type=int, default=8192)
+    sim_parser.add_argument("--zipf", type=float, default=1.7)
+    sim_parser.add_argument("--measurement-us", type=float, default=3000.0)
+    sim_parser.add_argument("--interarrival-us", type=float, default=None,
+                            help="open-loop Poisson arrivals (default: "
+                                 "closed loop)")
+    sim_parser.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+def cmd_experiments() -> int:
+    for name in EXPERIMENTS:
+        print(name)
+    return 0
+
+
+def cmd_workloads() -> int:
+    for name in EVALUATED_WORKLOADS:
+        print(name)
+    return 0
+
+
+def cmd_configs() -> int:
+    for name in EVALUATED_CONFIG_NAMES:
+        print(name)
+    return 0
+
+
+def cmd_run(experiment: str, scale: str) -> int:
+    result = run_experiment(experiment, scale=scale)
+    print(result.format_table())
+    return 0
+
+
+def cmd_run_all(scale: str) -> int:
+    for name in EXPERIMENTS:
+        print(run_experiment(name, scale=scale).format_table())
+        print()
+    return 0
+
+
+def cmd_report(scale: str, out: str) -> int:
+    from repro.harness.report import write_report
+
+    results = [run_experiment(name, scale=scale) for name in EXPERIMENTS]
+    write_report(
+        results, out,
+        header=(f"AstriFlash reproduction report (scale={scale}) — "
+                "every paper table/figure regenerated"),
+    )
+    print(f"wrote {out}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    config = make_config(args.config)
+    config.num_cores = args.cores
+    config.scale.dataset_pages = args.dataset_pages
+    config.scale.measurement_ns = args.measurement_us * US
+    workload = make_workload(args.workload, args.dataset_pages,
+                             seed=args.seed, zipf_s=args.zipf)
+    arrivals = None
+    if args.interarrival_us is not None:
+        arrivals = PoissonArrivals(args.interarrival_us * US,
+                                   seed=args.seed + 1)
+    result = Runner(config, workload, arrivals=arrivals).run()
+    print(result.describe())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "experiments":
+        return cmd_experiments()
+    if args.command == "workloads":
+        return cmd_workloads()
+    if args.command == "configs":
+        return cmd_configs()
+    if args.command == "run":
+        return cmd_run(args.experiment, args.scale)
+    if args.command == "run-all":
+        return cmd_run_all(args.scale)
+    if args.command == "report":
+        return cmd_report(args.scale, args.out)
+    if args.command == "simulate":
+        return cmd_simulate(args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,316 @@
+"""System configuration dataclasses.
+
+All tunables of the modelled server live here, expressed in the same
+units the paper uses (Table I and Sections II/IV/V).  The scaled-down
+simulation keeps the paper's *ratios* (3 % DRAM cache, 4 KB pages,
+50 us flash reads, 100 ns thread switches) while shrinking absolute
+capacities so runs finish quickly in Python.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.units import GIB, KIB, MIB, PAGE_SIZE, US
+
+
+class PagingMode(Enum):
+    """How data moves between DRAM and flash."""
+
+    DRAM_ONLY = "dram-only"          # everything fits in DRAM (ideal)
+    ASTRIFLASH = "astriflash"        # hardware DRAM cache + switch-on-miss
+    OS_SWAP = "os-swap"              # traditional OS demand paging
+    FLASH_SYNC = "flash-sync"        # synchronous flash access (FlatFlash)
+
+
+class SchedulingPolicy(Enum):
+    """User-level thread scheduling policy (Sec. IV-D)."""
+
+    PRIORITY_AGING = "priority-aging"  # paper's scheduler
+    FIFO = "fifo"                      # AstriFlash-noPS ablation
+
+
+@dataclass
+class CoreConfig:
+    """An ARM Cortex-A76-like out-of-order core (Table I)."""
+
+    frequency_ghz: float = 2.5
+    issue_width: int = 4
+    rob_entries: int = 128
+    store_buffer_entries: int = 32
+    base_physical_registers: int = 128
+    # ASO-style post-retirement speculation: registers kept per store in
+    # the store buffer (paper measures an average of 4 modified
+    # registers between consecutive stores).
+    registers_per_speculative_store: int = 4
+    architectural_registers: int = 32
+    # Core-side MSHRs linking miss signals back to ROB entries.
+    mshr_entries: int = 16
+    # Cost of flushing the ROB and redirecting to the user-level handler
+    # when a miss signal arrives: refill of the window, expressed as the
+    # average number of cycles of useful work lost per occupied ROB entry.
+    flush_cycles_per_rob_entry: float = 0.5
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1.0 / self.frequency_ghz
+
+    def validate(self) -> None:
+        if self.rob_entries < 1 or self.store_buffer_entries < 1:
+            raise ConfigurationError("ROB/SB sizes must be positive")
+        if self.store_buffer_entries > self.rob_entries:
+            raise ConfigurationError("store buffer larger than ROB")
+        if self.frequency_ghz <= 0:
+            raise ConfigurationError("core frequency must be positive")
+
+
+@dataclass
+class DramCacheConfig:
+    """Page-granularity DRAM cache with tags in DRAM (Sec. IV-B)."""
+
+    capacity_bytes: int = 8 * GIB
+    page_size: int = PAGE_SIZE
+    associativity: int = 8              # one 64B tag column maps 8 ways
+    tag_bytes: int = 8
+    # DRAM timing for the frontside controller (ns).
+    row_activate_ns: float = 15.0       # RAS
+    column_access_ns: float = 15.0      # CAS
+    data_transfer_ns: float = 10.0      # burst for a 64B block
+    # Controller command costs (Sec. V-A): FC is a 1-cycle FSM, BC is
+    # programmable and takes 3 cycles per command.
+    frontside_cycles_per_command: int = 1
+    backside_cycles_per_command: int = 3
+    controller_frequency_ghz: float = 2.0
+    # Unison-style way prediction: fetch the predicted way's data in
+    # parallel with the tag column, so hits avoid the serialized
+    # tag-then-data lookup (Jevdjic et al. [35], cited in Sec. IV-B).
+    way_prediction: bool = True
+    # Footprint-cache extension (Sec. II-A cites it as a bandwidth
+    # optimization): fetch only the predicted footprint of a page on a
+    # miss instead of all 4 KiB.
+    footprint_enabled: bool = False
+    footprint_region_pages: int = 64
+    footprint_safety_blocks: int = 4
+    # Miss Status Row: one specialized DRAM row of 8B entries.
+    msr_entries: int = 512
+    # Backside controller structures.
+    evict_buffer_entries: int = 64
+    miss_queue_entries: int = 128
+    # Hybrid partitioning: fraction of DRAM rows exposed flat to the OS
+    # so page tables never live in the cached partition (Sec. IV-A).
+    flat_partition_fraction: float = 0.03
+    partitioning_enabled: bool = True   # False => AstriFlash-noDP
+
+    @property
+    def controller_cycle_ns(self) -> float:
+        return 1.0 / self.controller_frequency_ghz
+
+    @property
+    def total_pages(self) -> int:
+        return self.capacity_bytes // self.page_size
+
+    @property
+    def num_sets(self) -> int:
+        return max(1, self.total_pages // self.associativity)
+
+    def validate(self) -> None:
+        if self.capacity_bytes < self.page_size * self.associativity:
+            raise ConfigurationError("DRAM cache smaller than one set")
+        if self.associativity < 1:
+            raise ConfigurationError("associativity must be >= 1")
+        if not 0.0 <= self.flat_partition_fraction < 1.0:
+            raise ConfigurationError("flat partition fraction out of range")
+        if self.msr_entries < 1:
+            raise ConfigurationError("MSR must have at least one entry")
+
+
+@dataclass
+class FlashConfig:
+    """NAND flash device behind PCIe (Sec. II, V)."""
+
+    capacity_bytes: int = 256 * GIB
+    page_size: int = PAGE_SIZE
+    read_latency_ns: float = 50.0 * US       # paper's 50 us reads
+    # Effective per-4KiB program cost: multi-plane one-shot programs on
+    # 16 KiB native pages amortize the ~600 us NAND program time.
+    program_latency_ns: float = 150.0 * US
+    erase_latency_ns: float = 3_000.0 * US
+    # "Multiple SSDs" aggregate geometry (Sec. II-A sizes flash
+    # bandwidth for the core count with several devices).
+    channels: int = 16
+    dies_per_channel: int = 8
+    planes_per_die: int = 2
+    pages_per_block: int = 256
+    # Device-side write cache: programs are acked once buffered and
+    # drain to the planes in the background.
+    write_buffer_pages: int = 512
+    # PCIe link (Gen5 x16-like).
+    pcie_bandwidth_gbps: float = 128.0        # GB/s
+    pcie_latency_ns: float = 500.0
+    # Garbage collection model (Sec. VI-D): probability that a request
+    # lands on a plane busy with GC, for the reference 256 GiB device.
+    gc_blocked_fraction_at_256g: float = 0.04
+    gc_reference_capacity_bytes: int = 256 * GIB
+    # Over-provisioning fraction driving GC frequency.
+    overprovisioning: float = 0.07
+    # GC policy: "blocking" holds a plane for the whole pass;
+    # "tiny-tail" (the paper's [80]) slices migrations so priority
+    # reads slip in between pages.
+    gc_policy: str = "blocking"
+
+    @property
+    def total_pages(self) -> int:
+        return self.capacity_bytes // self.page_size
+
+    @property
+    def num_planes(self) -> int:
+        return self.channels * self.dies_per_channel * self.planes_per_die
+
+    @property
+    def gc_blocked_fraction(self) -> float:
+        """GC blocking probability scales down with capacity (more
+        planes to spread GC over), per the paper's Sec. VI-D argument."""
+        scale = self.capacity_bytes / self.gc_reference_capacity_bytes
+        return min(1.0, self.gc_blocked_fraction_at_256g / max(scale, 1e-9))
+
+    def validate(self) -> None:
+        if self.read_latency_ns <= 0:
+            raise ConfigurationError("flash read latency must be positive")
+        if self.gc_policy not in ("blocking", "tiny-tail"):
+            raise ConfigurationError(
+                f"unknown gc_policy {self.gc_policy!r}"
+            )
+        if self.channels < 1 or self.dies_per_channel < 1 or self.planes_per_die < 1:
+            raise ConfigurationError("flash geometry must be positive")
+        if self.capacity_bytes < self.page_size:
+            raise ConfigurationError("flash smaller than one page")
+
+
+@dataclass
+class OsConfig:
+    """Costs of the traditional OS paging path (Sec. II-C)."""
+
+    context_switch_ns: float = 5.0 * US      # ~5 us per switch
+    page_fault_kernel_ns: float = 5.0 * US   # storage stack + NVMe driver
+    tlb_shootdown_base_ns: float = 4.0 * US  # broadcast IPI base cost
+    tlb_shootdown_per_core_ns: float = 0.5 * US  # scales with core count
+    # LATR-style lazy/batched shootdowns (the paper's [46]): amortize
+    # the broadcast over several page unmappings.
+    batched_shootdowns: bool = False
+    shootdown_batch_size: int = 8
+    page_table_levels: int = 4
+    # OS-Swap uses kernel threads multiplexed per core.
+    kernel_threads_per_core: int = 32
+
+
+@dataclass
+class UltConfig:
+    """User-level threading library (Sec. IV-D)."""
+
+    threads_per_core: int = 48               # paper spawns 32-64
+    switch_latency_ns: float = 100.0         # 100 ns user-level switch
+    policy: SchedulingPolicy = SchedulingPolicy.PRIORITY_AGING
+    # Sized with the thread pool: the context count already bounds the
+    # number of in-flight jobs, so pending never overflows unless the
+    # limit is deliberately lowered (the mechanism is still modelled).
+    pending_queue_limit: int = 48
+    # Aging threshold: multiple of the average flash response time after
+    # which the pending-queue head preempts new jobs.
+    aging_threshold_factor: float = 1.0
+
+
+@dataclass
+class TlbConfig:
+    """TLB hierarchy + walker (Sec. IV-A)."""
+
+    entries: int = 1024                      # unified L2 TLB reach
+    hit_latency_ns: float = 1.0
+    walk_latency_dram_ns: float = 100.0      # walk served from DRAM
+    # Probability a job step needs translation not covered by the
+    # on-core TLBs (cold/irregular accesses).
+    miss_probability: float = 0.02
+
+
+@dataclass
+class SimulationScale:
+    """Scaled-down sizes used by the Python simulation.
+
+    The paper simulates 256 GiB of flash-resident dataset and an 8 GiB
+    DRAM cache for 16 cores.  We keep the *ratio* (3 %) but shrink the
+    page population so pure-Python runs are fast.  ``dataset_pages``
+    controls everything: the DRAM cache gets
+    ``dataset_pages * dram_fraction`` pages.
+    """
+
+    dataset_pages: int = 1 << 16             # 65,536 pages = 256 MiB
+    dram_fraction: float = 0.03
+    warmup_ns: float = 2_000.0 * US
+    measurement_ns: float = 10_000.0 * US
+    seed: int = 42
+
+    def validate(self) -> None:
+        if self.dataset_pages < 64:
+            raise ConfigurationError("dataset too small to be meaningful")
+        if not 0.0 < self.dram_fraction <= 1.0:
+            raise ConfigurationError("dram_fraction out of range")
+
+
+@dataclass
+class SystemConfig:
+    """Complete description of an evaluated system configuration."""
+
+    name: str = "astriflash"
+    mode: PagingMode = PagingMode.ASTRIFLASH
+    num_cores: int = 16
+    core: CoreConfig = field(default_factory=CoreConfig)
+    dram_cache: DramCacheConfig = field(default_factory=DramCacheConfig)
+    flash: FlashConfig = field(default_factory=FlashConfig)
+    os: OsConfig = field(default_factory=OsConfig)
+    ult: UltConfig = field(default_factory=UltConfig)
+    tlb: TlbConfig = field(default_factory=TlbConfig)
+    scale: SimulationScale = field(default_factory=SimulationScale)
+    llc_capacity_per_core: int = 1 * MIB
+
+    def validate(self) -> None:
+        if self.num_cores < 1:
+            raise ConfigurationError("need at least one core")
+        self.core.validate()
+        self.dram_cache.validate()
+        self.flash.validate()
+        self.scale.validate()
+
+    # -- derived, scaled quantities ----------------------------------------
+
+    @property
+    def scaled_dataset_pages(self) -> int:
+        return self.scale.dataset_pages
+
+    @property
+    def scaled_dram_cache_pages(self) -> int:
+        pages = int(self.scale.dataset_pages * self.scale.dram_fraction)
+        return max(self.dram_cache.associativity, pages)
+
+    def replace(self, **changes) -> "SystemConfig":
+        """A copy of this config with top-level fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+    def deep_copy(self) -> "SystemConfig":
+        return dataclasses.replace(
+            self,
+            core=dataclasses.replace(self.core),
+            dram_cache=dataclasses.replace(self.dram_cache),
+            flash=dataclasses.replace(self.flash),
+            os=dataclasses.replace(self.os),
+            ult=dataclasses.replace(self.ult),
+            tlb=dataclasses.replace(self.tlb),
+            scale=dataclasses.replace(self.scale),
+        )
+
+
+def dram_to_flash_ratio(config: SystemConfig) -> float:
+    """DRAM-cache capacity as a fraction of the flash-resident dataset."""
+    return config.dram_cache.capacity_bytes / config.flash.capacity_bytes

@@ -1,0 +1,13 @@
+"""Full-system assembly and simulation runner (the paper's headline
+contribution wired to every substrate)."""
+
+from repro.core.machine import Machine, PTES_PER_PAGE
+from repro.core.runner import Runner, SimulationResult, TIME_QUANTUM_NS
+
+__all__ = [
+    "Machine",
+    "PTES_PER_PAGE",
+    "Runner",
+    "SimulationResult",
+    "TIME_QUANTUM_NS",
+]

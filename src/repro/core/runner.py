@@ -1,0 +1,554 @@
+"""Simulation runner: per-core execution loops for all four designs.
+
+The runner executes a workload on a :class:`~repro.core.machine.Machine`
+and measures throughput, service latency (dispatch to completion,
+including miss waits, excluding job-queue time — the paper's Sec. V-A
+definition) and response latency (arrival to completion).
+
+Execution model (see DESIGN.md): jobs are sequences of
+compute-then-access steps at DRAM-access granularity.  Compute and
+DRAM-cache *hits* are accumulated locally and yielded to the event
+engine in ~1 us quanta (hits involve no contention in the model);
+every DRAM-cache *miss* runs the full event-driven machinery:
+FC -> MSR/BC -> flash -> install -> miss signal -> ROB flush ->
+user-level thread switch.
+
+Mode summary:
+
+* ``DRAM_ONLY``  — every access is a flat DRAM access; run to completion.
+* ``FLASH_SYNC`` — hardware DRAM cache, but the core blocks on misses
+  (FlatFlash); run to completion.
+* ``ASTRIFLASH`` — switch-on-miss with the user-level thread library.
+* ``OS_SWAP``    — kernel-thread multiplexing with page-fault and
+  context-switch costs and shootdown-serialized installs.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional
+
+from repro.config.system import PagingMode, SystemConfig
+from repro.core.machine import Machine
+from repro.errors import ConfigurationError
+from repro.sim import Signal, observe, spawn
+from repro.stats import CounterSet, LatencyTracker, ThroughputTracker
+from repro.ult.queuepair import CompletionQueue
+from repro.ult.thread import ThreadState, UserThread
+from repro.units import US
+from repro.workloads.arrival import ClosedLoop, PoissonArrivals
+from repro.workloads.base import Job, Workload
+
+# Compute/hit time is accumulated locally and yielded in quanta of this
+# size, bounding how far a flash fetch can start ahead of its logical
+# issue point.
+TIME_QUANTUM_NS = 1_000.0
+
+
+@dataclass
+class SimulationResult:
+    """Everything a harness needs from one run."""
+
+    config_name: str
+    workload_name: str
+    throughput_jobs_per_s: float
+    completed_jobs: int
+    service_p50_ns: float
+    service_p99_ns: float
+    service_mean_ns: float
+    response_p99_ns: Optional[float]
+    response_mean_ns: Optional[float]
+    miss_ratio: float
+    mean_inter_miss_ns: Optional[float]
+    core_busy_fraction: float = 0.0
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.config_name} / {self.workload_name}:",
+            f"  throughput      {self.throughput_jobs_per_s:,.0f} jobs/s",
+            f"  service p50/p99 {self.service_p50_ns / US:.1f} / "
+            f"{self.service_p99_ns / US:.1f} us",
+            f"  miss ratio      {self.miss_ratio:.2%}",
+        ]
+        if self.response_p99_ns is not None:
+            lines.append(
+                f"  response p99    {self.response_p99_ns / US:.1f} us"
+            )
+        return "\n".join(lines)
+
+
+class Runner:
+    """Run one (configuration, workload, arrival process) experiment."""
+
+    def __init__(self, config: SystemConfig, workload: Workload,
+                 arrivals=None, seed: Optional[int] = None,
+                 warm: bool = True) -> None:
+        self.config = config
+        self.workload = workload
+        self.arrivals = arrivals if arrivals is not None else ClosedLoop()
+        self.machine = Machine(config)
+        self.seed = config.scale.seed if seed is None else seed
+        self._rng = random.Random(self.seed)
+        self._warm = warm
+
+        self.service_latency = LatencyTracker(name="service")
+        self.response_latency = LatencyTracker(name="response")
+        self.throughput = ThroughputTracker(name="jobs")
+        self.stats = CounterSet("runner")
+
+        self._queues: Dict[int, Deque[Job]] = {
+            core_id: deque() for core_id in range(config.num_cores)
+        }
+        self._idle: Dict[int, Optional[Signal]] = {
+            core_id: None for core_id in range(config.num_cores)
+        }
+        # Queue-pair notifications (Sec. IV-D2): the BC posts page
+        # arrivals here; schedulers drain them at scheduling points.
+        self._cqs: Dict[int, CompletionQueue] = {}
+        for core_id, library in enumerate(self.machine.libraries):
+            if library is None:
+                continue
+            capacity = 2 * library.config.threads_per_core
+            self._cqs[core_id] = CompletionQueue(
+                core_id, capacity=capacity,
+                doorbell=(lambda cid=core_id: self._wake(cid)),
+            )
+        # Miss-interval accounting (Sec. II-A calibration).
+        self._busy_ns = 0.0
+        self._accesses = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------ run --
+
+    def run(self) -> SimulationResult:
+        machine = self.machine
+        engine = machine.engine
+        scale = self.config.scale
+
+        if self._warm:
+            machine.warm_caches(self.workload)
+
+        open_loop = isinstance(self.arrivals, PoissonArrivals)
+        if open_loop:
+            for core_id in range(self.config.num_cores):
+                spawn(engine, self._arrival_process(core_id),
+                      name=f"arrivals{core_id}")
+        for core_id in range(self.config.num_cores):
+            spawn(engine, self._core_loop(core_id), name=f"core{core_id}")
+
+        def start_measurement():
+            self.service_latency.start_measurement()
+            self.response_latency.start_measurement()
+            self.throughput.start_measurement(engine.now)
+
+        engine.schedule(scale.warmup_ns, start_measurement)
+        end = scale.warmup_ns + scale.measurement_ns
+        engine.run(until=end)
+        self.throughput.stop_measurement(engine.now)
+
+        return self._build_result(open_loop)
+
+    def _build_result(self, open_loop: bool) -> SimulationResult:
+        if self.service_latency.count == 0:
+            raise ConfigurationError(
+                "no jobs completed in the measurement window; "
+                "increase measurement_ns"
+            )
+        miss_ratio = self._misses / max(1, self._accesses)
+        inter_miss = (self._busy_ns / self._misses) if self._misses else None
+        total_core_time = (self.config.num_cores
+                           * (self.config.scale.warmup_ns
+                              + self.config.scale.measurement_ns))
+        busy_fraction = min(1.0, self._busy_ns / max(total_core_time, 1.0))
+        counters = self.stats.as_dict()
+        if self.machine.dram_cache is not None:
+            counters.update({
+                f"dramcache.{k}": v for k, v in
+                self.machine.dram_cache.frontside.stats.as_dict().items()
+            })
+        if self.machine.flash is not None:
+            counters.update({
+                f"flash.{k}": v for k, v in
+                self.machine.flash.stats.as_dict().items()
+            })
+        return SimulationResult(
+            config_name=self.config.name,
+            workload_name=self.workload.name,
+            throughput_jobs_per_s=self.throughput.rate_per_second(),
+            completed_jobs=self.throughput.completions,
+            service_p50_ns=self.service_latency.p50(),
+            service_p99_ns=self.service_latency.p99(),
+            service_mean_ns=self.service_latency.mean(),
+            response_p99_ns=(self.response_latency.p99()
+                             if open_loop and self.response_latency.count
+                             else None),
+            response_mean_ns=(self.response_latency.mean()
+                              if open_loop and self.response_latency.count
+                              else None),
+            miss_ratio=miss_ratio,
+            mean_inter_miss_ns=inter_miss,
+            core_busy_fraction=busy_fraction,
+            counters=counters,
+        )
+
+    # ------------------------------------------------------------ load gen --
+
+    def _arrival_process(self, core_id: int):
+        while True:
+            yield self.arrivals.next_gap_ns()
+            job = self.workload.make_job()
+            job.arrived_at = self.machine.engine.now
+            self._queues[core_id].append(job)
+            self._wake(core_id)
+
+    def _next_job(self, core_id: int) -> Optional[Job]:
+        queue = self._queues[core_id]
+        if queue:
+            return queue.popleft()
+        if isinstance(self.arrivals, ClosedLoop):
+            job = self.workload.make_job()
+            job.arrived_at = self.machine.engine.now
+            return job
+        return None
+
+    def _wake(self, core_id: int) -> None:
+        signal = self._idle[core_id]
+        if signal is not None and not signal.fired:
+            self._idle[core_id] = None
+            signal.fire()
+
+    def _finish_job(self, job: Job) -> None:
+        now = self.machine.engine.now
+        job.finished_at = now
+        self.service_latency.record(now - job.started_at)
+        self.response_latency.record(now - job.arrived_at)
+        self.throughput.record_completion()
+        self.stats.add("jobs_completed")
+
+    # -------------------------------------------------------------- core loop --
+
+    def _core_loop(self, core_id: int):
+        mode = self.config.mode
+        if mode is PagingMode.DRAM_ONLY:
+            yield from self._run_to_completion_loop(core_id, with_cache=False)
+        elif mode is PagingMode.FLASH_SYNC:
+            yield from self._run_to_completion_loop(core_id, with_cache=True)
+        else:
+            yield from self._multiplexed_loop(core_id)
+
+    # -- DRAM-only and Flash-Sync: one job at a time ---------------------------
+
+    def _run_to_completion_loop(self, core_id: int, with_cache: bool):
+        engine = self.machine.engine
+        flat = self.machine.flat_dram_latency_ns
+        cache = self.machine.dram_cache
+
+        while True:
+            job = self._next_job(core_id)
+            if job is None:
+                signal = Signal(engine, f"idle{core_id}")
+                self._idle[core_id] = signal
+                yield signal
+                continue
+            job.started_at = engine.now
+            accumulated = 0.0
+            while True:
+                step = job.next_step()
+                if step is None:
+                    break
+                accumulated += step.compute_ns + self._walk_cost(step.page)
+                self._accesses += 1
+                if not with_cache:
+                    accumulated += flat
+                else:
+                    result = cache.access(step.page, step.is_write)
+                    if result.hit:
+                        accumulated += result.latency_ns
+                    else:
+                        # Flash-Sync: the core waits for the refill.
+                        self._misses += 1
+                        job.misses += 1
+                        yield accumulated
+                        self._busy_ns += accumulated
+                        accumulated = 0.0
+                        yield result.completion
+                        replay = cache.access(step.page, step.is_write)
+                        accumulated += replay.latency_ns
+                        self.stats.add("sync_miss_waits")
+                if accumulated >= TIME_QUANTUM_NS:
+                    yield accumulated
+                    self._busy_ns += accumulated
+                    accumulated = 0.0
+            if accumulated > 0.0:
+                yield accumulated
+                self._busy_ns += accumulated
+            self._finish_job(job)
+
+    # -- AstriFlash and OS-Swap: switch-on-stall multiplexing --------------------
+
+    def _multiplexed_loop(self, core_id: int):
+        engine = self.machine.engine
+        library = self.machine.libraries[core_id]
+        mode = self.config.mode
+
+        while True:
+            self._admit(core_id)
+            self._drain_completions(core_id, library)
+            thread = library.pick_next(engine.now,
+                                       self._avg_stall_response_ns())
+            if thread is None:
+                signal = Signal(engine, f"idle{core_id}")
+                self._idle[core_id] = signal
+                yield signal
+                continue
+
+            if thread.state is ThreadState.PENDING:
+                # Aged (or forced) head whose data has not arrived: the
+                # scheduler waits for the flash response (Sec. IV-D2).
+                self.stats.add("blocking_dispatches")
+                wait_start = engine.now
+                yield thread.wait_signal
+                self.stats.add("time_blocking_wait_ns",
+                               engine.now - wait_start)
+                if thread.state is ThreadState.PENDING:
+                    thread.data_arrived(engine.now)
+
+            # Thread switch cost (100 ns ULT / ~5 us OS context switch).
+            switch_ns = library.switch_latency_ns
+            if switch_ns > 0.0:
+                yield switch_ns
+                self.stats.add("time_switch_ns", switch_ns)
+            was_ready = thread.state is ThreadState.READY
+            thread.dispatch()
+            if thread.job.started_at is None:
+                thread.job.started_at = engine.now
+            if was_ready:
+                # Forward-progress guarantee: the resuming instruction
+                # must retire even if its page was evicted meanwhile.
+                thread.forward_progress = True
+
+            yield from self._run_thread(core_id, library, thread, mode)
+
+    def _admit(self, core_id: int) -> None:
+        library = self.machine.libraries[core_id]
+        engine = self.machine.engine
+        while library.can_admit():
+            job = self._next_job(core_id)
+            if job is None:
+                break
+            library.admit(job, engine.now)
+
+    def _avg_stall_response_ns(self) -> float:
+        if self.config.mode is PagingMode.OS_SWAP:
+            return self.machine.pager.average_fault_latency_ns()
+        return self.machine.flash.average_read_latency_ns()
+
+    def _run_thread(self, core_id: int, library, thread: UserThread, mode):
+        engine = self.machine.engine
+        core = self.machine.cores[core_id]
+        accumulated = 0.0
+
+        while True:
+            step = thread.current_step
+            if step is None:
+                step = thread.job.next_step()
+                thread.current_step = step
+            if step is None:
+                if accumulated > 0.0:
+                    yield accumulated
+                    self._busy_ns += accumulated
+                job = library.on_finish(thread)
+                self._finish_job(job)
+                return
+
+            accumulated += step.compute_ns + self._walk_cost(step.page)
+            self._accesses += 1
+
+            if mode is PagingMode.ASTRIFLASH:
+                outcome = yield from self._astriflash_access(
+                    core_id, library, thread, step, accumulated
+                )
+            else:
+                outcome = yield from self._os_swap_access(
+                    core_id, library, thread, step, accumulated
+                )
+            if outcome is None:
+                # Thread parked on the miss: back to the scheduler.
+                return
+            accumulated = outcome
+            thread.current_step = None
+            if thread.forward_progress:
+                # The forced instruction retired: clear the bit.
+                thread.forward_progress = False
+                core.registers.retire_resuming_instruction()
+            if accumulated >= TIME_QUANTUM_NS:
+                yield accumulated
+                self._busy_ns += accumulated
+                accumulated = 0.0
+
+    # -- AstriFlash miss path ------------------------------------------------------
+
+    def _astriflash_access(self, core_id: int, library, thread: UserThread,
+                           step, accumulated: float):
+        cache = self.machine.dram_cache
+        core = self.machine.cores[core_id]
+        engine = self.machine.engine
+
+        result = cache.access(step.page, step.is_write)
+        if result.hit:
+            return accumulated + result.latency_ns
+
+        self._misses += 1
+        thread.job.misses += 1
+        # A cold access almost certainly misses the TLB too: the walk
+        # precedes the data access.  With DRAM partitioning it is a
+        # cheap flat-DRAM walk; under `noDP` the PT leaf page lives in
+        # flash-backed cached space and the (serialized, unswitchable)
+        # walk can itself stall on flash (Sec. IV-A, Table II).
+        cold_walk_ns = (self.config.os.page_table_levels
+                        * self.machine.flat_dram_latency_ns)
+        pt_completion = None
+        if self.machine.page_tables_in_flash_space:
+            pt_page = self.machine.page_table_page(step.page)
+            pt_result = self.machine.dram_cache.access(pt_page, False)
+            if pt_result.hit:
+                cold_walk_ns = (
+                    (self.config.os.page_table_levels - 1)
+                    * self.machine.flat_dram_latency_ns
+                    + pt_result.latency_ns
+                )
+            else:
+                self.stats.add("pt_walk_flash_misses")
+                pt_completion = pt_result.completion
+        # Simulate the compute up to the miss plus the walk, the miss
+        # signal, and the ROB flush/redirect.
+        flush_ns = core.flush_penalty_ns(self.workload.rob_occupancy)
+        self.stats.add("time_flush_ns", flush_ns)
+        yield accumulated + cold_walk_ns + result.latency_ns + flush_ns
+        self._busy_ns += accumulated + cold_walk_ns + result.latency_ns \
+            + flush_ns
+        if pt_completion is not None:
+            # The hardware walker blocks the core until the PTE page
+            # arrives from flash; no thread switch can hide it.
+            walk_start = engine.now
+            yield pt_completion
+            self.stats.add("time_pt_walk_wait_ns",
+                           engine.now - walk_start)
+
+        if thread.forward_progress:
+            # Sec. IV-C3: complete synchronously, do not deschedule.
+            self.stats.add("forward_progress_syncs")
+            wait_start = engine.now
+            yield result.completion
+            self.stats.add("time_sync_wait_ns", engine.now - wait_start)
+            replay = cache.access(step.page, step.is_write)
+            return replay.latency_ns
+
+        if library.scheduler.pending_full:
+            # Sec. IV-D1: pending queue full — the scheduler waits for
+            # the flash response instead of switching.
+            self.stats.add("pending_overflow_syncs")
+            wait_start = engine.now
+            yield result.completion
+            self.stats.add("time_sync_wait_ns", engine.now - wait_start)
+            replay = cache.access(step.page, step.is_write)
+            return replay.latency_ns
+
+        # Park the thread and return to the scheduler.
+        library.on_miss(thread, step.page, engine.now)
+        thread.wait_signal = result.completion
+        observe(result.completion,
+                self._make_ready_callback(core_id, library, thread))
+        return None
+
+    # -- OS-Swap fault path -----------------------------------------------------------
+
+    def _os_swap_access(self, core_id: int, library, thread: UserThread,
+                        step, accumulated: float):
+        pager = self.machine.pager
+        engine = self.machine.engine
+        flat = self.machine.flat_dram_latency_ns
+
+        if pager.access(step.page, step.is_write):
+            return accumulated + flat
+
+        self._misses += 1
+        thread.job.misses += 1
+        # The faulting thread runs the kernel entry on this core, then
+        # the OS switches away (switch charged at next dispatch).
+        yield accumulated + self.config.os.page_fault_kernel_ns
+        self._busy_ns += accumulated + self.config.os.page_fault_kernel_ns
+
+        done = Signal(engine, f"fault-done:{step.page}")
+
+        def fault_and_signal():
+            yield from pager.fault(step.page, step.is_write)
+            done.fire()
+
+        spawn(engine, fault_and_signal(), name=f"fault:{step.page}")
+
+        if thread.forward_progress or library.scheduler.pending_full:
+            self.stats.add("sync_fault_waits")
+            wait_start = engine.now
+            yield done
+            self.stats.add("time_sync_wait_ns", engine.now - wait_start)
+            return flat
+
+        library.on_miss(thread, step.page, engine.now)
+        thread.wait_signal = done
+        observe(done, self._make_ready_callback(core_id, library, thread))
+        return None
+
+    def _drain_completions(self, core_id: int, library) -> None:
+        """Read the queue pair and mark notified threads ready."""
+        engine = self.machine.engine
+        for entry in self._cqs[core_id].drain():
+            thread = entry.context
+            if thread.state is ThreadState.PENDING:
+                library.on_data_ready(thread, engine.now)
+
+    def _make_ready_callback(self, core_id: int, library,
+                             thread: UserThread):
+        """BC completion -> queue-pair post for the parked thread."""
+        cq = self._cqs[core_id]
+        engine = self.machine.engine
+
+        def on_ready(_value):
+            if thread.state is ThreadState.PENDING:
+                cq.post(thread.miss_page, engine.now, context=thread)
+
+        return on_ready
+
+    # -- page-table walks -----------------------------------------------------------
+
+    def _walk_cost(self, data_page: int) -> float:
+        """TLB-miss handling cost for this access, if one occurs.
+
+        With DRAM partitioning (and for all non-AstriFlash modes) the
+        walk is served from flat DRAM.  Under `noDP` the PT leaf page
+        goes through the DRAM cache and the walk blocks synchronously on
+        a flash fetch when it misses (Sec. IV-A).
+        """
+        tlb = self.config.tlb
+        if self._rng.random() >= tlb.miss_probability:
+            return 0.0
+        self.stats.add("tlb_misses")
+        levels = self.config.os.page_table_levels
+        flat_walk = levels * self.machine.flat_dram_latency_ns
+        if not self.machine.page_tables_in_flash_space:
+            return flat_walk
+        # noDP: upper levels stay cached; the leaf PTE page goes through
+        # the DRAM cache and can miss to flash.
+        pt_page = self.machine.page_table_page(data_page)
+        result = self.machine.dram_cache.access(pt_page, False)
+        upper_levels = (levels - 1) * self.machine.flat_dram_latency_ns
+        if result.hit:
+            return upper_levels + result.latency_ns
+        self.stats.add("pt_walk_flash_misses")
+        # The walker cannot thread-switch: charge the full expected
+        # refill latency synchronously (the walk serializes on flash).
+        return (upper_levels
+                + self.machine.flash.average_read_latency_ns())

@@ -1,0 +1,38 @@
+"""Core-side microarchitecture: ROB/SB, ASO speculation, MSHRs, costs."""
+
+from repro.cpu.core import CoreModel, MissHandlingRegisters
+from repro.cpu.pipeline import (
+    Instruction,
+    PipelinedMachine,
+    ReferenceMachine,
+    random_program,
+)
+from repro.cpu.mshr import MshrAllocation, MshrFile
+from repro.cpu.registers import MapTable, PhysicalRegisterFile
+from repro.cpu.rob import (
+    InstructionKind,
+    ReorderBuffer,
+    RobEntry,
+    StoreBuffer,
+    StoreBufferEntry,
+)
+from repro.cpu.speculation import SpeculativeCore
+
+__all__ = [
+    "CoreModel",
+    "Instruction",
+    "PipelinedMachine",
+    "ReferenceMachine",
+    "random_program",
+    "InstructionKind",
+    "MapTable",
+    "MissHandlingRegisters",
+    "MshrAllocation",
+    "MshrFile",
+    "PhysicalRegisterFile",
+    "ReorderBuffer",
+    "RobEntry",
+    "SpeculativeCore",
+    "StoreBuffer",
+    "StoreBufferEntry",
+]

@@ -1,0 +1,80 @@
+"""Core-side Miss Status Handling Registers.
+
+The core's MSHRs track memory requests sent to the cache hierarchy and
+link an incoming DRAM-cache miss signal back to the triggering
+instruction in the ROB (Sec. IV-C2, Fig. 6).  When a miss signal
+arrives, the hierarchy's resources are reclaimed (the ECC-error-style
+path of Sec. IV-C1), which this model represents by freeing the entry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import CapacityError, ConfigurationError, ProtocolError
+from repro.stats import CounterSet
+
+
+class MshrAllocation:
+    """One outstanding memory request from this core."""
+
+    __slots__ = ("mshr_id", "page", "rob_seq", "is_write")
+
+    def __init__(self, mshr_id: int, page: int, rob_seq: int,
+                 is_write: bool) -> None:
+        self.mshr_id = mshr_id
+        self.page = page
+        self.rob_seq = rob_seq
+        self.is_write = is_write
+
+    def __repr__(self) -> str:
+        return f"<MSHR#{self.mshr_id} page={self.page} rob={self.rob_seq}>"
+
+
+class MshrFile:
+    """A bounded file of core-side MSHRs."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError("MSHR file needs at least one entry")
+        self.capacity = capacity
+        self._entries: Dict[int, MshrAllocation] = {}
+        self._next_id = 0
+        self.stats = CounterSet("core-mshr")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def allocate(self, page: int, rob_seq: int, is_write: bool = False) -> MshrAllocation:
+        if self.is_full:
+            raise CapacityError("core MSHRs exhausted")
+        entry = MshrAllocation(self._next_id, page, rob_seq, is_write)
+        self._next_id += 1
+        self._entries[entry.mshr_id] = entry
+        self.stats.add("allocations")
+        return entry
+
+    def lookup_by_page(self, page: int) -> Optional[MshrAllocation]:
+        """Link an incoming miss signal back to its instruction."""
+        for entry in self._entries.values():
+            if entry.page == page:
+                return entry
+        return None
+
+    def reclaim(self, mshr_id: int) -> MshrAllocation:
+        """Free the entry (data returned, or miss signal received)."""
+        entry = self._entries.pop(mshr_id, None)
+        if entry is None:
+            raise ProtocolError(f"reclaim of unknown MSHR {mshr_id}")
+        self.stats.add("reclaims")
+        return entry
+
+    def reclaim_by_page(self, page: int) -> MshrAllocation:
+        entry = self.lookup_by_page(page)
+        if entry is None:
+            raise ProtocolError(f"no MSHR tracking page {page}")
+        return self.reclaim(entry.mshr_id)

@@ -1,0 +1,279 @@
+"""Differential execution harness for the switch-on-miss core.
+
+The strongest claim in Sec. IV-C is semantic: a DRAM-cache miss may
+abort *committed* stores in the Store Buffer and everything younger,
+and after the thread is rescheduled and the instructions replay, the
+architectural state must be exactly as if the miss never happened.
+
+This module tests that end to end with real values:
+
+* :class:`ReferenceMachine` — a trivially-correct in-order interpreter
+  of a small ISA (ALU add-immediate, LOAD, STORE) over architectural
+  registers and a page-addressed memory;
+* :class:`PipelinedMachine` — the same programs executed through the
+  rename/ROB/SB machinery of
+  :class:`~repro.cpu.speculation.SpeculativeCore`, with values held in
+  a physical register file, store-to-load forwarding, and *injected
+  DRAM-cache misses* that trigger the paper's abort paths
+  (``abort_load`` for loads in the ROB, ``abort_store`` for committed
+  stores in the SB) followed by replay from the resume PC.
+
+Because values live in physical registers, restoring the rename map on
+an abort automatically restores the values — which is precisely the
+mechanism the paper's ASO extension relies on.  The differential test
+(:mod:`tests.test_cpu_pipeline`) checks register file and memory
+equality over random programs and random miss injections.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.config.system import CoreConfig
+from repro.cpu.rob import InstructionKind
+from repro.cpu.speculation import SpeculativeCore
+from repro.errors import ProtocolError
+
+MASK = (1 << 32) - 1
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One instruction of the toy ISA."""
+
+    kind: str                      # InstructionKind value
+    dest: Optional[int] = None     # architectural register
+    src: Optional[int] = None      # architectural register
+    immediate: int = 0
+    page: Optional[int] = None     # memory page for loads/stores
+
+    def __repr__(self) -> str:
+        if self.kind == InstructionKind.ALU:
+            return f"ALU r{self.dest} = r{self.src} + {self.immediate}"
+        if self.kind == InstructionKind.LOAD:
+            return f"LOAD r{self.dest} = mem[{self.page}]"
+        return f"STORE mem[{self.page}] = r{self.src}"
+
+
+class ReferenceMachine:
+    """In-order, abort-free interpreter: the ground truth."""
+
+    def __init__(self, num_registers: int = 8) -> None:
+        self.registers = [0] * num_registers
+        self.memory: Dict[int, int] = {}
+
+    def execute(self, program: List[Instruction]) -> None:
+        for instruction in program:
+            if instruction.kind == InstructionKind.ALU:
+                value = (self.registers[instruction.src]
+                         + instruction.immediate) & MASK
+                self.registers[instruction.dest] = value
+            elif instruction.kind == InstructionKind.LOAD:
+                self.registers[instruction.dest] = \
+                    self.memory.get(instruction.page, 0)
+            else:
+                self.memory[instruction.page] = \
+                    self.registers[instruction.src]
+
+
+class PipelinedMachine:
+    """Executes through the speculative core with miss injection.
+
+    ``miss_pages`` lists (program_index, page) pairs: the *first* time
+    the instruction at ``program_index`` touches memory it suffers a
+    DRAM-cache miss, triggering the abort path; the refill then
+    "arrives" and the replay succeeds.
+    """
+
+    def __init__(self, config: Optional[CoreConfig] = None,
+                 miss_points: Optional[Set[int]] = None) -> None:
+        self.core = SpeculativeCore(config or CoreConfig(
+            rob_entries=16, store_buffer_entries=4,
+            base_physical_registers=24,
+            registers_per_speculative_store=4,
+            architectural_registers=8,
+        ))
+        self.miss_points = set(miss_points or ())
+        # Values of physical registers.
+        total = self.core.prf.num_registers
+        self.prf_values = [0] * total
+        # Architectural reset state: map already holds physical regs.
+        for arch in range(self.core.map_table.num_arch_registers):
+            self.prf_values[self.core.map_table.lookup(arch)] = 0
+        self.memory: Dict[int, int] = {}
+        # Stores in flight (ROB or SB): (seq, page, value), program order.
+        self._pending_stores: List[Tuple[int, int, int]] = []
+        self._seq_to_index: Dict[int, int] = {}
+        self._store_values: Dict[int, int] = {}  # seq -> value
+        self.aborts = 0
+        self.replays = 0
+
+    # -- value helpers -------------------------------------------------------
+
+    def _read(self, arch_reg: int) -> int:
+        return self.prf_values[self.core.map_table.lookup(arch_reg)]
+
+    def _forwarded_load(self, page: int, load_seq: int) -> int:
+        """Store-to-load forwarding from the youngest older store."""
+        for seq, store_page, value in reversed(self._pending_stores):
+            if seq < load_seq and store_page == page:
+                return value
+        return self.memory.get(page, 0)
+
+    # -- execution ------------------------------------------------------------
+
+    def execute(self, program: List[Instruction]) -> None:
+        fetch_index = 0
+        while (fetch_index < len(program) or len(self.core.rob)
+               or len(self.core.store_buffer)):
+            progressed = False
+            # Fetch + execute one instruction if there is ROB room
+            # (stores blocked on a full SB wait at retirement).
+            if fetch_index < len(program) and not self.core.rob.is_full:
+                fetch_index = self._fetch(program, fetch_index)
+                progressed = True
+            # Retire the head if possible.
+            retired = self._try_retire(program)
+            progressed = progressed or retired is not None
+            # Complete the oldest SB store (may inject a miss).
+            drained = self._try_drain_store(program)
+            progressed = progressed or drained
+            if not progressed:
+                raise ProtocolError("pipeline deadlocked")
+            # Resume index may have moved backwards after an abort.
+            fetch_index = min(fetch_index, self._resume_index)
+
+    # Internal: where the next fetch must happen after an abort.
+    @property
+    def _resume_index(self) -> int:
+        return getattr(self, "_resume", 1 << 60)
+
+    def _set_resume(self, index: int) -> None:
+        self._resume = index
+
+    def _clear_resume(self) -> None:
+        self._resume = 1 << 60
+
+    def _fetch(self, program: List[Instruction], index: int) -> int:
+        """Fetch/rename/execute program[index]; returns the next index."""
+        self._clear_resume()
+        instruction = program[index]
+        if instruction.kind == InstructionKind.ALU:
+            value = (self._read(instruction.src)
+                     + instruction.immediate) & MASK
+            entry = self.core.fetch(InstructionKind.ALU,
+                                    dest_arch_reg=instruction.dest)
+            self.prf_values[entry.new_preg] = value
+            self.core.complete(entry.seq)
+        elif instruction.kind == InstructionKind.LOAD:
+            entry = self.core.fetch(InstructionKind.LOAD,
+                                    dest_arch_reg=instruction.dest,
+                                    page=instruction.page)
+            self._seq_to_index[entry.seq] = index
+            if index in self.miss_points:
+                # DRAM-cache miss on a load still in the ROB: squash it
+                # and everything younger, refill, and replay.
+                self.miss_points.discard(index)
+                self.aborts += 1
+                resume_seq = self.core.abort_load(entry.seq)
+                self._drop_pending_stores(resume_seq)
+                self._set_resume(self._seq_to_index[resume_seq])
+                self.replays += 1
+                return self._seq_to_index[resume_seq]
+            value = self._forwarded_load(instruction.page, entry.seq)
+            self.prf_values[entry.new_preg] = value
+            self.core.complete(entry.seq)
+        else:  # STORE
+            entry = self.core.fetch(InstructionKind.STORE,
+                                    page=instruction.page)
+            self._seq_to_index[entry.seq] = index
+            value = self._read(instruction.src)
+            self._store_values[entry.seq] = value
+            self._pending_stores.append((entry.seq, instruction.page, value))
+        self._seq_to_index.setdefault(entry.seq, index)
+        return index + 1
+
+    def _try_retire(self, program: List[Instruction]):
+        head = self.core.rob.head
+        if head is None:
+            return None
+        if head.kind == InstructionKind.STORE:
+            if self.core.store_buffer.is_full:
+                return None
+            return self.core.retire()
+        if head.completed:
+            return self.core.retire()
+        return None
+
+    def _try_drain_store(self, program: List[Instruction]) -> bool:
+        head = self.core.store_buffer.head
+        if head is None:
+            return False
+        index = self._seq_to_index[head.seq]
+        if index in self.miss_points:
+            # The committed store's write misses the DRAM cache: the
+            # ASO path aborts it (and all younger state) post-retirement.
+            self.miss_points.discard(index)
+            self.aborts += 1
+            resume_seq = self.core.abort_store(head.seq)
+            self._drop_pending_stores(resume_seq)
+            self._set_resume(self._seq_to_index[resume_seq])
+            self.replays += 1
+            return True
+        # The write completes: commit to memory, free the window.
+        entry = self.core.complete_store()
+        value = self._store_values.pop(entry.seq)
+        self.memory[entry.page] = value
+        self._pending_stores = [
+            record for record in self._pending_stores
+            if record[0] != entry.seq
+        ]
+        return True
+
+    def _drop_pending_stores(self, from_seq: int) -> None:
+        self._pending_stores = [
+            record for record in self._pending_stores if record[0] < from_seq
+        ]
+        self._store_values = {
+            seq: value for seq, value in self._store_values.items()
+            if seq < from_seq
+        }
+
+    # -- inspection --------------------------------------------------------------
+
+    def architectural_registers(self) -> List[int]:
+        return [
+            self._read(arch)
+            for arch in range(self.core.map_table.num_arch_registers)
+        ]
+
+
+def random_program(rng: random.Random, length: int = 30,
+                   num_registers: int = 8, num_pages: int = 8
+                   ) -> List[Instruction]:
+    """A random toy-ISA program (for differential testing)."""
+    program: List[Instruction] = []
+    for _ in range(length):
+        roll = rng.random()
+        if roll < 0.4:
+            program.append(Instruction(
+                InstructionKind.ALU,
+                dest=rng.randrange(num_registers),
+                src=rng.randrange(num_registers),
+                immediate=rng.randrange(1, 100),
+            ))
+        elif roll < 0.7:
+            program.append(Instruction(
+                InstructionKind.LOAD,
+                dest=rng.randrange(num_registers),
+                page=rng.randrange(num_pages),
+            ))
+        else:
+            program.append(Instruction(
+                InstructionKind.STORE,
+                src=rng.randrange(num_registers),
+                page=rng.randrange(num_pages),
+            ))
+    return program

@@ -1,0 +1,114 @@
+"""Physical register file and register map table.
+
+AstriFlash extends ASO-style post-retirement speculation so that
+*committed* stores sitting in the Store Buffer can still be aborted on
+a DRAM-cache miss (Sec. IV-C4).  The enabling bookkeeping is exactly
+what these classes model:
+
+* a :class:`PhysicalRegisterFile` with a free list, sized as the base
+  128 registers plus 4 extra registers per speculative store
+  (32-entry SB x 4 = 128 extra, 1 KiB of SRAM in the paper's estimate);
+* a :class:`MapTable` from architectural to physical registers whose
+  snapshots are retained until the associated store *leaves the SB*
+  (not merely the ROB), so an abort can rewind the rename state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import CapacityError, ConfigurationError, ProtocolError
+
+
+class PhysicalRegisterFile:
+    """A free-list-managed physical register file."""
+
+    def __init__(self, num_registers: int) -> None:
+        if num_registers < 1:
+            raise ConfigurationError("PRF needs at least one register")
+        self.num_registers = num_registers
+        self._free: List[int] = list(range(num_registers))
+        self._allocated = [False] * num_registers
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def allocated_count(self) -> int:
+        return self.num_registers - len(self._free)
+
+    def allocate(self) -> int:
+        """Claim a free physical register."""
+        if not self._free:
+            raise CapacityError("physical register file exhausted")
+        reg = self._free.pop()
+        self._allocated[reg] = True
+        return reg
+
+    def free(self, reg: int) -> None:
+        """Return a register to the free list."""
+        if not 0 <= reg < self.num_registers:
+            raise ProtocolError(f"register {reg} out of range")
+        if not self._allocated[reg]:
+            raise ProtocolError(f"double free of physical register {reg}")
+        self._allocated[reg] = False
+        self._free.append(reg)
+
+    def is_allocated(self, reg: int) -> bool:
+        return self._allocated[reg]
+
+
+class MapTable:
+    """Architectural-to-physical register mapping with snapshots."""
+
+    def __init__(self, num_arch_registers: int,
+                 prf: PhysicalRegisterFile) -> None:
+        if num_arch_registers < 1:
+            raise ConfigurationError("need at least one architectural register")
+        self.num_arch_registers = num_arch_registers
+        self.prf = prf
+        # Initial mapping: arch register i -> physical register i.
+        self._map: List[int] = [prf.allocate() for _ in range(num_arch_registers)]
+
+    def lookup(self, arch_reg: int) -> int:
+        self._check(arch_reg)
+        return self._map[arch_reg]
+
+    def _check(self, arch_reg: int) -> None:
+        if not 0 <= arch_reg < self.num_arch_registers:
+            raise ProtocolError(f"architectural register {arch_reg} out of range")
+
+    def rename(self, arch_reg: int) -> tuple:
+        """Allocate a new physical register for ``arch_reg``.
+
+        Returns ``(new_physical, old_physical)``; the old register must
+        be freed by the caller once the renaming instruction is past
+        any possible abort (for stores: when it leaves the SB).
+        """
+        self._check(arch_reg)
+        old = self._map[arch_reg]
+        new = self.prf.allocate()
+        self._map[arch_reg] = new
+        return new, old
+
+    def undo_rename(self, arch_reg: int, old_phys: int) -> None:
+        """Revert a rename during a squash (the new mapping is being
+        discarded by the caller)."""
+        self._check(arch_reg)
+        self._map[arch_reg] = old_phys
+
+    def snapshot(self) -> List[int]:
+        """A copy of the current mapping (one 8-bit index per arch
+        register in hardware; 32 x 8 bits = the paper's map-table
+        entry)."""
+        return list(self._map)
+
+    def restore(self, snapshot: List[int]) -> None:
+        """Rewind the mapping to ``snapshot`` (abort path)."""
+        if len(snapshot) != self.num_arch_registers:
+            raise ProtocolError("snapshot size mismatch")
+        self._map = list(snapshot)
+
+    def current(self) -> Dict[int, int]:
+        return {arch: phys for arch, phys in enumerate(self._map)}

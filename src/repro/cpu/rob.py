@@ -1,0 +1,183 @@
+"""Reorder buffer and store buffer models.
+
+These are functional structures used by the switch-on-miss sandbox
+(:mod:`repro.cpu.speculation`) to demonstrate that a committed store in
+the Store Buffer can be aborted and the core rewound to the last
+finished instruction — the microarchitectural crux of Sec. IV-C.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.errors import CapacityError, ConfigurationError, ProtocolError
+
+
+class InstructionKind:
+    ALU = "alu"
+    LOAD = "load"
+    STORE = "store"
+
+
+class RobEntry:
+    """One in-flight instruction."""
+
+    __slots__ = ("seq", "kind", "dest_arch_reg", "new_preg", "old_preg",
+                 "page", "completed")
+
+    def __init__(self, seq: int, kind: str, dest_arch_reg: Optional[int],
+                 new_preg: Optional[int], old_preg: Optional[int],
+                 page: Optional[int]) -> None:
+        self.seq = seq
+        self.kind = kind
+        self.dest_arch_reg = dest_arch_reg
+        self.new_preg = new_preg
+        self.old_preg = old_preg
+        self.page = page       # memory page touched (loads/stores)
+        self.completed = False
+
+    def __repr__(self) -> str:
+        done = "done" if self.completed else "pending"
+        return f"<RobEntry #{self.seq} {self.kind} {done}>"
+
+
+class ReorderBuffer:
+    """A bounded FIFO of in-flight instructions."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError("ROB capacity must be positive")
+        self.capacity = capacity
+        self._entries: Deque[RobEntry] = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def head(self) -> Optional[RobEntry]:
+        return self._entries[0] if self._entries else None
+
+    def allocate(self, entry: RobEntry) -> None:
+        if self.is_full:
+            raise CapacityError("ROB full")
+        if self._entries and entry.seq <= self._entries[-1].seq:
+            raise ProtocolError("ROB entries must be allocated in program order")
+        self._entries.append(entry)
+
+    def retire_head(self) -> RobEntry:
+        """Retire the oldest instruction (must be completed, except
+        stores which retire into the SB once address+data are ready)."""
+        if not self._entries:
+            raise ProtocolError("retire from empty ROB")
+        head = self._entries[0]
+        if head.kind != InstructionKind.STORE and not head.completed:
+            raise ProtocolError(f"retiring incomplete instruction {head!r}")
+        return self._entries.popleft()
+
+    def flush_from(self, seq: int) -> List[RobEntry]:
+        """Squash instruction ``seq`` and everything younger.
+
+        Returns the squashed entries youngest-first, which is the order
+        in which rename state must be unwound."""
+        kept: Deque[RobEntry] = deque()
+        squashed: List[RobEntry] = []
+        for entry in self._entries:
+            if entry.seq >= seq:
+                squashed.append(entry)
+            else:
+                kept.append(entry)
+        if not squashed:
+            raise ProtocolError(f"no ROB entry with seq >= {seq} to flush")
+        self._entries = kept
+        squashed.reverse()
+        return squashed
+
+    def flush_all(self) -> List[RobEntry]:
+        """Squash every in-flight instruction (miss-signal path)."""
+        squashed = list(self._entries)
+        squashed.reverse()
+        self._entries.clear()
+        return squashed
+
+    def entries(self) -> List[RobEntry]:
+        return list(self._entries)
+
+
+class StoreBufferEntry:
+    """A retired-but-incomplete store with its ASO rollback snapshot."""
+
+    __slots__ = ("seq", "page", "map_snapshot", "speculative_regs")
+
+    def __init__(self, seq: int, page: int, map_snapshot: List[int],
+                 speculative_regs: List[int]) -> None:
+        self.seq = seq
+        self.page = page
+        # Rename-map snapshot taken *before* the store renamed anything;
+        # restoring it rewinds the core to just before the store.
+        self.map_snapshot = map_snapshot
+        # Physical registers allocated by this store and by younger
+        # instructions up to the next store; freed when the store
+        # completes (leaves the SB) or the abort path reclaims them.
+        self.speculative_regs = speculative_regs
+
+    def __repr__(self) -> str:
+        return f"<SBEntry #{self.seq} page={self.page}>"
+
+
+class StoreBuffer:
+    """Post-retirement stores awaiting completion in program order."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError("store buffer capacity must be positive")
+        self.capacity = capacity
+        self._entries: Deque[StoreBufferEntry] = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def head(self) -> Optional[StoreBufferEntry]:
+        return self._entries[0] if self._entries else None
+
+    def push(self, entry: StoreBufferEntry) -> None:
+        if self.is_full:
+            raise CapacityError("store buffer full")
+        if self._entries and entry.seq <= self._entries[-1].seq:
+            raise ProtocolError("stores must enter the SB in program order")
+        self._entries.append(entry)
+
+    def complete_head(self) -> StoreBufferEntry:
+        """The oldest store's write reached the memory system."""
+        if not self._entries:
+            raise ProtocolError("complete on empty store buffer")
+        return self._entries.popleft()
+
+    def abort_from(self, seq: int) -> List[StoreBufferEntry]:
+        """Abort store ``seq`` and all younger SB stores (miss path).
+
+        Returns them youngest-first for rollback."""
+        kept: Deque[StoreBufferEntry] = deque()
+        aborted: List[StoreBufferEntry] = []
+        for entry in self._entries:
+            if entry.seq >= seq:
+                aborted.append(entry)
+            else:
+                kept.append(entry)
+        if not aborted:
+            raise ProtocolError(f"no SB entry with seq >= {seq} to abort")
+        self._entries = kept
+        aborted.reverse()
+        return aborted
+
+    def entries(self) -> List[StoreBufferEntry]:
+        return list(self._entries)

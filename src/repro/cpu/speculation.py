@@ -1,0 +1,234 @@
+"""Switch-on-miss speculation sandbox (Sec. IV-C4, Fig. 7).
+
+A DRAM-cache miss can hit a *committed* store that already left the ROB
+and sits in the Store Buffer.  Existing speculation mechanisms cannot
+rewind past retirement, so AstriFlash extends ASO-style post-retirement
+speculation: the rename-map snapshot of every store is retained until
+the store leaves the SB, and physical registers displaced by younger
+retired instructions are not freed until the covering store completes.
+
+:class:`SpeculativeCore` is a functional model of exactly that
+machinery.  It executes an abstract instruction stream (ALU / load /
+store micro-ops with destination registers and memory pages) through
+rename -> ROB -> retire -> SB, and supports:
+
+* ``abort_load(seq)``   — a DRAM-cache miss on a load still in the ROB:
+  squash it and everything younger by unwinding renames.
+* ``abort_store(seq)``  — a miss on a committed store in the SB: squash
+  the whole ROB, abort the store and all younger SB stores, restore the
+  store's map snapshot and reclaim every speculative register.
+
+The model maintains hard invariants (no double frees, mapped registers
+always allocated) that the test suite checks exhaustively, including
+with property-based random streams.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.config.system import CoreConfig
+from repro.cpu.registers import MapTable, PhysicalRegisterFile
+from repro.cpu.rob import (
+    InstructionKind,
+    ReorderBuffer,
+    RobEntry,
+    StoreBuffer,
+    StoreBufferEntry,
+)
+from repro.errors import ProtocolError
+from repro.stats import CounterSet
+
+
+class _Window:
+    """Registers associated with one store's speculative window."""
+
+    __slots__ = ("allocated", "displaced")
+
+    def __init__(self) -> None:
+        # New physical registers of *retired* instructions in this
+        # window (reverted and freed if the window aborts).
+        self.allocated: List[int] = []
+        # Old physical registers displaced by retired instructions;
+        # freed only when the covering store completes.
+        self.displaced: List[int] = []
+
+
+class SpeculativeCore:
+    """Functional rename/ROB/SB pipeline with post-retirement aborts."""
+
+    def __init__(self, config: Optional[CoreConfig] = None) -> None:
+        self.config = config or CoreConfig()
+        total_registers = (
+            self.config.base_physical_registers
+            + self.config.store_buffer_entries
+            * self.config.registers_per_speculative_store
+        )
+        self.prf = PhysicalRegisterFile(total_registers)
+        self.map_table = MapTable(self.config.architectural_registers, self.prf)
+        self.rob = ReorderBuffer(self.config.rob_entries)
+        self.store_buffer = StoreBuffer(self.config.store_buffer_entries)
+        self._windows: Dict[int, _Window] = {}  # store seq -> window
+        # Map snapshots for stores still in the ROB (promoted to the
+        # SB entry at retire time).
+        self._snapshots: Dict[int, List[int]] = {}
+        self._next_seq = 0
+        self.stats = CounterSet("speculative-core")
+
+    # -- front end --------------------------------------------------------------
+
+    def fetch(self, kind: str, dest_arch_reg: Optional[int] = None,
+              page: Optional[int] = None) -> RobEntry:
+        """Rename and allocate one micro-op into the ROB.
+
+        Stores carry no destination register (ARM-style) and take a
+        map-table snapshot for the post-retirement abort path.
+        """
+        if kind == InstructionKind.STORE:
+            if dest_arch_reg is not None:
+                raise ProtocolError("stores do not write registers")
+            if page is None:
+                raise ProtocolError("stores need a memory page")
+        if kind == InstructionKind.LOAD and page is None:
+            raise ProtocolError("loads need a memory page")
+
+        seq = self._next_seq
+        self._next_seq += 1
+        new_preg = old_preg = None
+        if dest_arch_reg is not None:
+            new_preg, old_preg = self.map_table.rename(dest_arch_reg)
+        entry = RobEntry(seq, kind, dest_arch_reg, new_preg, old_preg, page)
+        if kind == InstructionKind.STORE:
+            # Snapshot taken after all older renames: restoring it
+            # rewinds the core to just before this store.
+            self._windows[seq] = _Window()
+            self._snapshots[seq] = self.map_table.snapshot()
+        self.rob.allocate(entry)
+        self.stats.add("fetched")
+        return entry
+
+    def complete(self, seq: int) -> None:
+        """Mark a micro-op's execution as finished."""
+        for entry in self.rob.entries():
+            if entry.seq == seq:
+                entry.completed = True
+                return
+        raise ProtocolError(f"complete of unknown instruction {seq}")
+
+    # -- retirement --------------------------------------------------------------
+
+    def retire(self) -> RobEntry:
+        """Retire the ROB head.
+
+        Non-store instructions free (or defer) their displaced
+        register; stores move into the Store Buffer with their snapshot.
+        """
+        entry = self.rob.retire_head()
+        if entry.kind == InstructionKind.STORE:
+            snapshot = self._snapshots.pop(entry.seq)
+            self.store_buffer.push(
+                StoreBufferEntry(entry.seq, entry.page, snapshot, [])
+            )
+            self.stats.add("stores_retired")
+            return entry
+
+        youngest_store = self._youngest_sb_seq()
+        if entry.dest_arch_reg is not None:
+            if youngest_store is None:
+                # Nothing speculative in flight: conventional free.
+                if entry.old_preg is not None:
+                    self.prf.free(entry.old_preg)
+            else:
+                window = self._windows[youngest_store]
+                window.allocated.append(entry.new_preg)
+                if entry.old_preg is not None:
+                    window.displaced.append(entry.old_preg)
+        self.stats.add("retired")
+        return entry
+
+    def _youngest_sb_seq(self) -> Optional[int]:
+        entries = self.store_buffer.entries()
+        return entries[-1].seq if entries else None
+
+    # -- store completion -----------------------------------------------------------
+
+    def complete_store(self) -> StoreBufferEntry:
+        """The oldest SB store's write reached the memory system.
+
+        Its speculative window is no longer abortable: displaced
+        registers become dead and are freed.
+        """
+        entry = self.store_buffer.complete_head()
+        window = self._windows.pop(entry.seq)
+        for reg in window.displaced:
+            self.prf.free(reg)
+        # Registers in window.allocated stay live (they are in the map
+        # or will be displaced by younger windows).
+        self.stats.add("stores_completed")
+        return entry
+
+    # -- abort paths ------------------------------------------------------------------
+
+    def abort_load(self, seq: int) -> int:
+        """DRAM-cache miss on a load still in the ROB.
+
+        Squashes ``seq`` and everything younger by unwinding renames
+        youngest-first.  Returns the resume PC (the load's seq).
+        """
+        squashed = self.rob.flush_from(seq)
+        self._unwind_rob_entries(squashed)
+        self.stats.add("load_aborts")
+        return seq
+
+    def abort_store(self, seq: int) -> int:
+        """DRAM-cache miss on a committed store in the SB (the ASO
+        extension).  Returns the resume PC (the store's seq)."""
+        # 1. The entire ROB is younger than any SB store: squash it.
+        squashed = self.rob.flush_all()
+        self._unwind_rob_entries(squashed)
+        # 2. Abort the store and all younger SB stores, youngest first.
+        aborted = self.store_buffer.abort_from(seq)
+        restore_snapshot: Optional[List[int]] = None
+        for sb_entry in aborted:
+            window = self._windows.pop(sb_entry.seq)
+            for reg in window.allocated:
+                self.prf.free(reg)
+            # Displaced registers become live again after the snapshot
+            # restore below: drop the deferred frees.
+            restore_snapshot = sb_entry.map_snapshot
+        if restore_snapshot is None:
+            raise ProtocolError("abort_store found nothing to abort")
+        self.map_table.restore(restore_snapshot)
+        self.stats.add("store_aborts")
+        return seq
+
+    def _unwind_rob_entries(self, squashed_youngest_first: List[RobEntry]) -> None:
+        for entry in squashed_youngest_first:
+            if entry.kind == InstructionKind.STORE:
+                self._snapshots.pop(entry.seq, None)
+                self._windows.pop(entry.seq, None)
+            if entry.new_preg is not None:
+                # Undo the rename: the old mapping becomes current again.
+                self.map_table.undo_rename(entry.dest_arch_reg, entry.old_preg)
+                self.prf.free(entry.new_preg)
+
+    # -- invariants ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise if the rename state is inconsistent (test hook)."""
+        mapped = set(self.map_table.snapshot())
+        if len(mapped) != self.map_table.num_arch_registers:
+            raise ProtocolError("two architectural registers share a physical one")
+        for reg in mapped:
+            if not self.prf.is_allocated(reg):
+                raise ProtocolError(f"mapped register {reg} is on the free list")
+        for window in self._windows.values():
+            for reg in window.allocated + window.displaced:
+                if not self.prf.is_allocated(reg):
+                    raise ProtocolError(
+                        f"window register {reg} is on the free list"
+                    )
+
+    def quiesced_register_count(self) -> int:
+        """Expected PRF occupancy when nothing is in flight."""
+        return self.map_table.num_arch_registers

@@ -1,0 +1,291 @@
+"""Frontside and backside DRAM-cache controllers (Sec. IV-B, Fig. 5).
+
+The **frontside controller (FC)** extends a traditional DRAM controller:
+it probes the in-row tags for every request, serves hits, and forwards
+misses to the backside controller's queue, stalling when that queue is
+full.  It is a 1-cycle FSM.
+
+The **backside controller (BC)** is programmable (3 cycles/command).
+For each miss it checks the Miss Status Row for a pending miss to the
+same page (duplicates coalesce), allocates an MSR entry (waiting when
+the table is full), issues the 4 KiB flash read, selects and evicts a
+victim (dirty victims go through a bounded evict buffer and are written
+back off the critical path), installs the arriving page, and releases
+the MSR entry — firing the install signal that wakes the threads parked
+on the miss.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.config.system import DramCacheConfig
+from repro.dramcache.footprint import FootprintPredictor
+from repro.dramcache.msr import MissStatusRow
+from repro.dramcache.organization import DramCacheOrganization
+from repro.dramcache.timing import DramCacheTiming
+from repro.errors import ProtocolError
+from repro.flash.device import FlashDevice
+from repro.sim import Engine, Ready, Server, Signal, Store, spawn
+from repro.stats import CounterSet, LatencyTracker
+from repro.units import US
+
+
+class MissRequest:
+    """A DRAM-cache miss travelling from FC to BC.
+
+    ``install_signal`` fires (with this request as payload) once the
+    page is resident; every thread that missed on the page waits on it.
+    """
+
+    __slots__ = ("page", "is_write", "created_at", "install_signal",
+                 "coalesced", "installed_at")
+
+    def __init__(self, engine: Engine, page: int, is_write: bool) -> None:
+        self.page = page
+        self.is_write = is_write
+        self.created_at = engine.now
+        self.install_signal = Signal(engine, f"install:{page}")
+        self.coalesced = 0
+        self.installed_at: Optional[float] = None
+
+    @property
+    def fill_latency_ns(self) -> float:
+        if self.installed_at is None:
+            raise ProtocolError("miss not installed yet")
+        return self.installed_at - self.created_at
+
+    def __repr__(self) -> str:
+        return f"<MissRequest page={self.page} coalesced={self.coalesced}>"
+
+
+class AccessResult:
+    """Outcome of a frontside-controller access.
+
+    * hit:   ``latency_ns`` is the full in-DRAM hit latency.
+    * miss:  ``latency_ns`` is the time until the miss signal reaches
+      the requesting core; ``completion`` fires when the page has been
+      installed and the access can replay.
+    """
+
+    __slots__ = ("hit", "latency_ns", "completion", "coalesced")
+
+    def __init__(self, hit: bool, latency_ns: float,
+                 completion: Optional[Signal] = None,
+                 coalesced: bool = False) -> None:
+        self.hit = hit
+        self.latency_ns = latency_ns
+        self.completion = completion
+        self.coalesced = coalesced
+
+    def __repr__(self) -> str:
+        kind = "hit" if self.hit else "miss"
+        return f"<AccessResult {kind} {self.latency_ns:.1f} ns>"
+
+
+class BacksideController:
+    """Programmable miss handler between the DRAM cache and flash."""
+
+    def __init__(self, engine: Engine, config: DramCacheConfig,
+                 timing: DramCacheTiming,
+                 organization: DramCacheOrganization,
+                 flash: FlashDevice) -> None:
+        self.engine = engine
+        self.config = config
+        self.timing = timing
+        self.organization = organization
+        self.flash = flash
+        self.footprint: Optional[FootprintPredictor] = None
+        if config.footprint_enabled:
+            self.footprint = FootprintPredictor(
+                region_pages=config.footprint_region_pages,
+                safety_blocks=config.footprint_safety_blocks,
+            )
+        # Blocks fetched for each resident page (footprint training).
+        self._fetched_blocks: Dict[int, int] = {}
+        self.msr = MissStatusRow(engine, config.msr_entries)
+        self.miss_queue = Store(engine, capacity=config.miss_queue_entries,
+                                name="bc-miss-queue")
+        self.evict_buffer = Server(engine, capacity=config.evict_buffer_entries,
+                                   name="bc-evict-buffer")
+        self.stats = CounterSet("backside")
+        self.fill_latency = LatencyTracker(exact=False, name="bc-fill")
+        self.fill_latency.start_measurement()
+        spawn(engine, self._accept_loop(), name="bc-accept")
+
+    # -- admission ------------------------------------------------------------
+
+    def _accept_loop(self):
+        """Pop miss requests, gate on MSR capacity, spawn handlers."""
+        while True:
+            slot = self.miss_queue.get()
+            if isinstance(slot, Ready):
+                request = slot.item
+            else:
+                request = yield slot
+            # MSR lookup for a pending miss to the same page.
+            yield self.timing.backside_command_ns
+            while True:
+                wait = self.msr.wait_for_free()
+                if wait is None:
+                    break
+                yield wait
+            self.msr.allocate(request.page, request.is_write)
+            spawn(self.engine, self._handle_miss(request),
+                  name=f"bc-miss:{request.page}")
+
+    # -- miss handling -----------------------------------------------------------
+
+    def _handle_miss(self, request: MissRequest):
+        # Issue the page read to flash (one BC command).  With the
+        # footprint extension only the predicted blocks cross the
+        # channel/PCIe, cutting refill bandwidth.
+        yield self.timing.backside_command_ns
+        if self.footprint is not None:
+            blocks = self.footprint.predict_blocks(request.page)
+            self._fetched_blocks[request.page] = blocks
+            read_signal = self.flash.read(
+                request.page, num_bytes=self.footprint.predict_bytes(request.page)
+            )
+        else:
+            read_signal = self.flash.read(request.page)
+        self.stats.add("flash_reads")
+
+        # While flash works (~50 us), secure space in the target set.
+        yield from self._make_room(request.page)
+
+        # Wait for the page to arrive over PCIe.
+        yield read_signal
+
+        # Install data + tag into the designated set and way.
+        yield self.timing.backside_command_ns + self.timing.page_install_ns
+        self.organization.install(request.page, dirty=request.is_write)
+        request.installed_at = self.engine.now
+        self.msr.release(request.page)
+        self.stats.add("installs")
+        self.fill_latency.record(request.fill_latency_ns)
+        request.install_signal.fire(request)
+
+    def _make_room(self, page: int):
+        """Reserve a way, retrying if every way is transiently reserved."""
+        while True:
+            try:
+                evicted = self.organization.reserve_victim(page)
+            except ProtocolError:
+                # Every way of the set has a refill in flight; wait for
+                # one to land and retry.  Rare by construction.
+                self.stats.add("set_conflict_retries")
+                yield 1.0 * US
+                continue
+            break
+        if evicted is not None and self.footprint is not None:
+            fetched = self._fetched_blocks.pop(
+                evicted.page, self.footprint.blocks_per_page
+            )
+            self.footprint.record_eviction(
+                evicted.page, evicted.access_count, fetched
+            )
+        if evicted is not None and evicted.dirty:
+            # Copy into the evict buffer (blocking when full), then
+            # write back off the critical path.
+            grant = self.evict_buffer.acquire()
+            if grant is not None:
+                self.stats.add("evict_buffer_stalls")
+                yield grant
+            yield self.timing.page_install_ns  # row read into the buffer
+            self.stats.add("dirty_writebacks")
+            spawn(self.engine, self._writeback(evicted.page),
+                  name=f"bc-writeback:{evicted.page}")
+
+    def _writeback(self, page: int):
+        write_signal = self.flash.write(page)
+        yield write_signal
+        self.evict_buffer.release()
+        self.stats.add("writebacks_completed")
+
+    @property
+    def outstanding_misses(self) -> int:
+        return len(self.msr)
+
+
+class FrontsideController:
+    """Hit/miss decision logic in front of the DRAM cache."""
+
+    def __init__(self, engine: Engine, config: DramCacheConfig,
+                 timing: DramCacheTiming,
+                 organization: DramCacheOrganization,
+                 backside: BacksideController) -> None:
+        self.engine = engine
+        self.config = config
+        self.timing = timing
+        self.organization = organization
+        self.backside = backside
+        self.stats = CounterSet("frontside")
+        # Misses currently pending (page -> MissRequest) so duplicate
+        # misses coalesce onto one flash read.
+        self._pending: Dict[int, MissRequest] = {}
+
+    def access(self, page: int, is_write: bool = False) -> AccessResult:
+        """Probe the cache for one request from the on-chip hierarchy.
+
+        Synchronous decision: hits return immediately with the full
+        hit latency; misses return the miss-signal latency plus a
+        completion signal that fires when the refill lands.
+        """
+        self.stats.add("accesses")
+        if self.organization.lookup(page, is_write):
+            return AccessResult(True, self.timing.hit_latency_ns)
+
+        pending = self._pending.get(page)
+        if pending is not None:
+            pending.coalesced += 1
+            if is_write:
+                pending.is_write = True
+            self.stats.add("coalesced_misses")
+            return AccessResult(
+                False, self.timing.miss_detect_ns,
+                completion=pending.install_signal, coalesced=True,
+            )
+
+        request = MissRequest(self.engine, page, is_write)
+        self._pending[page] = request
+        self.stats.add("misses")
+        if not self.backside.miss_queue.try_put(request):
+            # BC queue full: FC stalls until space frees up; the stall
+            # is modelled as a background put so the core still sees
+            # the miss signal at the architected latency.
+            self.stats.add("bc_queue_stalls")
+            spawn(self.engine, self._blocking_put(request), name="fc-stall")
+        self._arm_cleanup(request)
+        return AccessResult(
+            False, self.timing.miss_detect_ns,
+            completion=request.install_signal,
+        )
+
+    def _blocking_put(self, request: MissRequest):
+        signal = self.backside.miss_queue.put(request)
+        if signal is not None:
+            yield signal
+
+    def _arm_cleanup(self, request: MissRequest) -> None:
+        def cleanup(_value):
+            self._pending.pop(request.page, None)
+
+        _on_fire(request.install_signal, cleanup)
+
+    def miss_ratio(self) -> float:
+        return self.stats.ratio("misses", "accesses")
+
+
+def _on_fire(signal: Signal, callback) -> None:
+    """Invoke ``callback(value)`` when ``signal`` fires.
+
+    Lightweight alternative to spawning a whole process just to observe
+    a signal.
+    """
+
+    class _Observer:
+        def _resume(self, value):
+            callback(value)
+
+    signal._add_waiter(_Observer())  # type: ignore[arg-type]

@@ -1,0 +1,113 @@
+"""Miss Status Row: in-DRAM tracking of outstanding DRAM-cache misses.
+
+On-chip caches track concurrent misses in CAM-based MSHRs, but with
+50 us refills a DRAM cache can have hundreds outstanding, which would
+make SRAM MSHRs prohibitively expensive.  AstriFlash instead keeps the
+miss-handling entries in a specialized DRAM row (8 B per entry,
+set-associative, searched with a CAS).  This module models that table:
+bounded capacity, duplicate-miss coalescing, and per-entry waiter
+signals fired when the page is installed (Sec. IV-B2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import CapacityError, ConfigurationError, ProtocolError
+from repro.sim import Engine, Signal
+from repro.stats import CounterSet
+
+
+class MsrEntry:
+    """One outstanding miss: the page plus its install signal."""
+
+    __slots__ = ("page", "allocated_at", "is_write", "install_signal", "coalesced")
+
+    def __init__(self, engine: Engine, page: int, is_write: bool) -> None:
+        self.page = page
+        self.allocated_at = engine.now
+        self.is_write = is_write
+        self.install_signal = Signal(engine, f"msr-install:{page}")
+        self.coalesced = 0  # duplicate misses merged into this entry
+
+    def __repr__(self) -> str:
+        return f"<MsrEntry page={self.page} coalesced={self.coalesced}>"
+
+
+class MissStatusRow:
+    """The in-DRAM miss table with bounded capacity.
+
+    ``free_signal`` consumers: when the table is full the backside
+    controller parks on :meth:`wait_for_free` and retries after the
+    next release.
+    """
+
+    def __init__(self, engine: Engine, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError("MSR needs at least one entry")
+        self.engine = engine
+        self.capacity = capacity
+        self._entries: Dict[int, MsrEntry] = {}
+        self._free_waiters = []
+        self.stats = CounterSet("msr")
+        self._peak_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def peak_occupancy(self) -> int:
+        return self._peak_occupancy
+
+    def lookup(self, page: int) -> Optional[MsrEntry]:
+        """CAS search for a pending miss to ``page``."""
+        self.stats.add("lookups")
+        return self._entries.get(page)
+
+    def allocate(self, page: int, is_write: bool) -> MsrEntry:
+        """Allocate an entry; raises :class:`CapacityError` when full."""
+        if page in self._entries:
+            raise ProtocolError(f"duplicate MSR allocation for page {page}")
+        if self.is_full:
+            raise CapacityError("MSR full")
+        entry = MsrEntry(self.engine, page, is_write)
+        self._entries[page] = entry
+        self.stats.add("allocations")
+        self._peak_occupancy = max(self._peak_occupancy, len(self._entries))
+        return entry
+
+    def coalesce(self, page: int, is_write: bool) -> MsrEntry:
+        """Merge a duplicate miss into the existing entry."""
+        entry = self._entries.get(page)
+        if entry is None:
+            raise ProtocolError(f"coalesce without pending entry for page {page}")
+        entry.coalesced += 1
+        if is_write:
+            entry.is_write = True
+        self.stats.add("coalesced")
+        return entry
+
+    def release(self, page: int) -> MsrEntry:
+        """Remove the entry on install completion and wake one waiter
+        parked on a full table."""
+        entry = self._entries.pop(page, None)
+        if entry is None:
+            raise ProtocolError(f"release of missing MSR entry for page {page}")
+        self.stats.add("releases")
+        if self._free_waiters:
+            self._free_waiters.pop(0).fire()
+        return entry
+
+    def wait_for_free(self) -> Optional[Signal]:
+        """Returns a signal to yield on while the table is full, or
+        None when space is available right now."""
+        if not self.is_full:
+            return None
+        self.stats.add("full_stalls")
+        signal = Signal(self.engine, "msr-free")
+        self._free_waiters.append(signal)
+        return signal

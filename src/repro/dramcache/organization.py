@@ -1,0 +1,199 @@
+"""Set-associative, page-granularity DRAM-cache organization.
+
+The DRAM cache stores 4 KiB pages; each DRAM row is one set holding
+``associativity`` ways plus an 8-byte tag per way in the same row
+(Sec. IV-B, Fig. 5a).  Tags therefore cost a serialized RAS+CAS before
+data access — the timing model in :mod:`repro.dramcache.timing` charges
+for that.
+
+This module is purely functional state: lookups, LRU, installs,
+reservations (ways claimed for in-flight refills) and evictions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.stats import CounterSet
+
+
+class Way:
+    """One way of one set: a page frame plus tag metadata."""
+
+    __slots__ = ("page", "dirty", "last_touch", "reserved_for",
+                 "access_count")
+
+    def __init__(self) -> None:
+        self.page: Optional[int] = None
+        self.dirty = False
+        self.last_touch = 0
+        # Logical page this way is reserved for while a refill is in
+        # flight; the way cannot be victimized meanwhile.
+        self.reserved_for: Optional[int] = None
+        # Accesses during the current residency (footprint training).
+        self.access_count = 0
+
+    @property
+    def valid(self) -> bool:
+        return self.page is not None
+
+    @property
+    def reserved(self) -> bool:
+        return self.reserved_for is not None
+
+
+class EvictedPage:
+    """A victim page pushed out by a refill."""
+
+    __slots__ = ("page", "dirty", "access_count")
+
+    def __init__(self, page: int, dirty: bool, access_count: int = 0) -> None:
+        self.page = page
+        self.dirty = dirty
+        self.access_count = access_count
+
+    def __repr__(self) -> str:
+        flag = "dirty" if self.dirty else "clean"
+        return f"<EvictedPage {self.page} {flag}>"
+
+
+class DramCacheOrganization:
+    """Tag/data state for the whole DRAM cache."""
+
+    def __init__(self, num_pages: int, associativity: int) -> None:
+        if associativity < 1:
+            raise ConfigurationError("associativity must be >= 1")
+        if num_pages < associativity:
+            raise ConfigurationError("cache smaller than one set")
+        self.associativity = associativity
+        self.num_sets = num_pages // associativity
+        self.capacity_pages = self.num_sets * associativity
+        self._sets: List[List[Way]] = [
+            [Way() for _ in range(associativity)] for _ in range(self.num_sets)
+        ]
+        self._clock = 0  # LRU timestamp source
+        self.stats = CounterSet("dram-cache-org")
+
+    # -- indexing -------------------------------------------------------------
+
+    def set_index(self, page: int) -> int:
+        return page % self.num_sets
+
+    def _ways(self, page: int) -> List[Way]:
+        return self._sets[self.set_index(page)]
+
+    # -- lookup ---------------------------------------------------------------
+
+    def lookup(self, page: int, is_write: bool = False) -> bool:
+        """Probe the tags; on a hit, touch LRU (and dirty for writes)."""
+        self._clock += 1
+        for way in self._ways(page):
+            if way.page == page:
+                way.last_touch = self._clock
+                way.access_count += 1
+                if is_write:
+                    way.dirty = True
+                self.stats.add("hits")
+                return True
+        self.stats.add("misses")
+        return False
+
+    def contains(self, page: int) -> bool:
+        """Tag probe without LRU side effects."""
+        return any(way.page == page for way in self._ways(page))
+
+    def is_reserved(self, page: int) -> bool:
+        """True if a refill for ``page`` already holds a way."""
+        return any(way.reserved_for == page for way in self._ways(page))
+
+    # -- refill path ------------------------------------------------------------
+
+    def reserve_victim(self, page: int) -> Optional[EvictedPage]:
+        """Claim a way for an incoming refill of ``page``.
+
+        Picks an invalid way if possible, otherwise evicts the LRU
+        non-reserved way.  Returns the evicted page (None if a free way
+        was available).  Raises :class:`ProtocolError` when every way in
+        the set is already reserved — the backside controller must bound
+        outstanding misses per set to avoid this.
+        """
+        ways = self._ways(page)
+        if any(way.reserved_for == page for way in ways):
+            raise ProtocolError(f"page {page} already has a reserved way")
+        # Prefer an invalid, unreserved way.
+        for way in ways:
+            if not way.valid and not way.reserved:
+                way.reserved_for = page
+                return None
+        # Evict the LRU valid, unreserved way.
+        victim: Optional[Way] = None
+        for way in ways:
+            if way.valid and not way.reserved:
+                if victim is None or way.last_touch < victim.last_touch:
+                    victim = way
+        if victim is None:
+            raise ProtocolError(
+                f"all ways of set {self.set_index(page)} are reserved; "
+                "too many concurrent misses to one set"
+            )
+        evicted = EvictedPage(victim.page, victim.dirty,
+                              victim.access_count)
+        victim.page = None
+        victim.dirty = False
+        victim.access_count = 0
+        victim.reserved_for = page
+        self.stats.add("evictions")
+        if evicted.dirty:
+            self.stats.add("dirty_evictions")
+        return evicted
+
+    def install(self, page: int, dirty: bool = False) -> None:
+        """Fill the reserved way with the arrived page."""
+        self._clock += 1
+        for way in self._ways(page):
+            if way.reserved_for == page:
+                way.page = page
+                way.dirty = dirty
+                way.last_touch = self._clock
+                way.access_count = 1  # the access that missed replays
+                way.reserved_for = None
+                self.stats.add("installs")
+                return
+        raise ProtocolError(f"install of page {page} without a reservation")
+
+    def cancel_reservation(self, page: int) -> None:
+        """Release a reservation without installing (error paths)."""
+        for way in self._ways(page):
+            if way.reserved_for == page:
+                way.reserved_for = None
+                return
+        raise ProtocolError(f"no reservation to cancel for page {page}")
+
+    # -- direct manipulation (warmup / tests) -----------------------------------
+
+    def populate(self, page: int) -> Optional[EvictedPage]:
+        """Insert a page immediately (used for cache warmup)."""
+        if self.contains(page):
+            self.lookup(page)
+            return None
+        evicted = self.reserve_victim(page)
+        self.install(page)
+        return evicted
+
+    def occupancy(self) -> int:
+        """Number of valid pages currently cached."""
+        return sum(
+            1 for ways in self._sets for way in ways if way.valid
+        )
+
+    def dirty_count(self) -> int:
+        return sum(
+            1 for ways in self._sets for way in ways if way.valid and way.dirty
+        )
+
+    def miss_ratio(self) -> float:
+        total = self.stats["hits"] + self.stats["misses"]
+        if total == 0:
+            return 0.0
+        return self.stats["misses"] / total

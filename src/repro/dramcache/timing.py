@@ -1,0 +1,81 @@
+"""DRAM-cache timing model.
+
+Tags live in the DRAM rows with the data (Sec. IV-B), so every access
+pays a serialized tag probe (RAS to open the row + CAS to read the tag
+column) before data can move.  The frontside controller is a 1-cycle
+FSM; the backside controller is programmable microcode at 3 cycles per
+command (Sec. V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.system import DramCacheConfig
+from repro.units import CACHE_BLOCK_SIZE
+
+
+@dataclass(frozen=True)
+class DramCacheTiming:
+    """Pre-computed latencies for the common controller operations."""
+
+    tag_probe_ns: float          # RAS + CAS to read the tag column
+    hit_data_ns: float           # CAS + burst for the requested 64B block
+    miss_signal_ns: float        # miss decision + miss response upstream
+    page_install_ns: float       # streaming a 4 KiB page into the row
+    frontside_command_ns: float
+    backside_command_ns: float
+
+    @property
+    def hit_latency_ns(self) -> float:
+        """Total in-DRAM latency of a cache hit (serialized tag+data)."""
+        return self.tag_probe_ns + self.hit_data_ns + self.frontside_command_ns
+
+    @property
+    def miss_detect_ns(self) -> float:
+        """Latency from request arrival to the miss signal heading to
+        the core."""
+        return self.tag_probe_ns + self.miss_signal_ns
+
+
+def build_timing(config: DramCacheConfig) -> DramCacheTiming:
+    """Derive the timing table from a :class:`DramCacheConfig`."""
+    fc_cycle = config.controller_cycle_ns * config.frontside_cycles_per_command
+    bc_cycle = config.controller_cycle_ns * config.backside_cycles_per_command
+    tag_probe = config.row_activate_ns + config.column_access_ns
+    if config.way_prediction:
+        # Data for the predicted way streams out with the tag column;
+        # only the burst remains after the (overlapped) tag check.
+        hit_data = config.data_transfer_ns
+    else:
+        hit_data = config.column_access_ns + config.data_transfer_ns
+    # Miss: FC issues the miss request to BC (1 command) and the miss
+    # response to the LLC (1 command).
+    miss_signal = 2 * fc_cycle
+    # Install: burst the page into the open row, one transfer slot per
+    # 64B block.
+    blocks_per_page = config.page_size // CACHE_BLOCK_SIZE
+    page_install = (
+        config.row_activate_ns
+        + config.column_access_ns
+        + blocks_per_page * config.data_transfer_ns
+    )
+    return DramCacheTiming(
+        tag_probe_ns=tag_probe,
+        hit_data_ns=hit_data,
+        miss_signal_ns=miss_signal,
+        page_install_ns=page_install,
+        frontside_command_ns=fc_cycle,
+        backside_command_ns=bc_cycle,
+    )
+
+
+def flat_partition_access_ns(config: DramCacheConfig) -> float:
+    """Latency of an access to the flat (uncached, tag-free) DRAM
+    partition, e.g. a page-table walk step under DRAM partitioning."""
+    return (
+        config.row_activate_ns
+        + config.column_access_ns
+        + config.data_transfer_ns
+        + config.controller_cycle_ns * config.frontside_cycles_per_command
+    )

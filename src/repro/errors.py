@@ -1,0 +1,33 @@
+"""Exception hierarchy for the AstriFlash reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """A system configuration is inconsistent or out of range."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was used incorrectly or reached a bad state."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still waiting."""
+
+
+class CapacityError(ReproError):
+    """A hardware structure (MSR, evict buffer, queue, ...) overflowed
+    in a way the design forbids."""
+
+
+class ProtocolError(ReproError):
+    """A component interaction violated the modelled hardware protocol."""
+
+
+class WorkloadError(ReproError):
+    """A workload was asked to do something it cannot (unknown key,
+    malformed transaction, exhausted trace, ...)."""

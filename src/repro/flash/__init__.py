@@ -1,0 +1,16 @@
+"""Flash substrate: device geometry, FTL, garbage collection, PCIe."""
+
+from repro.flash.device import FlashDevice, FlashRequest
+from repro.flash.ftl import Block, PageMappingFtl, PlaneState
+from repro.flash.gc import GarbageCollector
+from repro.flash.pcie import PCIeLink
+
+__all__ = [
+    "Block",
+    "FlashDevice",
+    "FlashRequest",
+    "GarbageCollector",
+    "PCIeLink",
+    "PageMappingFtl",
+    "PlaneState",
+]

@@ -1,0 +1,57 @@
+"""Figure 2: asynchronous flash accesses — why OS paging cannot scale.
+
+The paper's Fig. 2 compares the throughput of traditional asynchronous
+paging against an ideal no-overhead system as core count grows: the
+per-miss OS overhead caps per-core throughput, and broadcast TLB
+shootdowns serialize machine-wide, so aggregate throughput flattens.
+
+We regenerate it analytically from the same cost structure the DES
+uses: each core does ``work_us`` of useful work between misses; paging
+charges ``os_overhead_us`` of core time per miss; every miss's install
+requires a shootdown whose latency grows with the core count and which
+serializes on kernel synchronization.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.config import OsConfig
+from repro.harness.common import ExperimentResult
+from repro.units import US
+from repro.vm.shootdown import TlbShootdownModel
+
+CORE_COUNTS: Sequence[int] = (1, 2, 4, 8, 16, 32, 64)
+
+
+def run(scale="quick", work_us: float = 10.0,
+        os_overhead_us: float = 10.0) -> ExperimentResult:
+    """Regenerate Figure 2: normalized throughput vs core count."""
+    del scale  # analytic: same at every scale
+    result = ExperimentResult(
+        experiment="fig2",
+        title="Fig. 2: async paging throughput vs cores (ideal = 1.0)",
+        columns=["cores", "ideal_norm", "os_paging_norm",
+                 "shootdown_bound_norm"],
+        notes=("Per-core overhead halves throughput; the broadcast "
+               "shootdown ceiling makes it collapse at high core "
+               "counts."),
+    )
+    os_config = OsConfig()
+    for cores in CORE_COUNTS:
+        # Useful work rate of an ideal machine (misses cost nothing).
+        ideal_rate = cores / (work_us * US)
+        # Per-core overhead bound: each miss burns os_overhead_us.
+        overhead_rate = cores / ((work_us + os_overhead_us) * US)
+        # Global serialization bound: one shootdown per miss, and
+        # shootdowns serialize machine-wide on kernel synchronization.
+        shootdown = TlbShootdownModel(os_config, cores)
+        shootdown_rate = 1.0 / shootdown.latency_ns()
+        paging_rate = min(overhead_rate, shootdown_rate)
+        result.add_row(
+            cores,
+            1.0,
+            paging_rate / ideal_rate,
+            shootdown_rate / ideal_rate,
+        )
+    return result

@@ -1,0 +1,72 @@
+"""Figure 3: analytic 99th-percentile latency vs load.
+
+The paper's Fig. 3 plots the p99 response latency (normalized to the
+DRAM-only average service time) against throughput (normalized to the
+DRAM-only maximum) for DRAM-only, Flash-Sync (M/M/1) and AstriFlash,
+OS-Swap (M/M/k), assuming 10 us of work per request and one 50 us
+flash access.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analytic.queueing import paper_figure3_models
+from repro.errors import ConfigurationError
+from repro.harness.common import ExperimentResult
+
+LOAD_POINTS: Sequence[float] = (
+    0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 0.95,
+)
+
+
+def run(scale="quick", percentile: float = 0.99) -> ExperimentResult:
+    """Regenerate Figure 3's four curves."""
+    del scale  # analytic
+    models = paper_figure3_models()
+    dram = next(m for m in models if m.name == "dram-only")
+    dram_max_rate = dram.max_throughput_per_second
+    normalizer = dram.work_ns  # average DRAM-only service time
+
+    result = ExperimentResult(
+        experiment="fig3",
+        title=(f"Fig. 3: p{percentile * 100:.0f} latency (x avg DRAM-only "
+               "service time) vs load (x DRAM-only max throughput)"),
+        columns=["load"] + [model.name for model in models],
+        notes=("Flash-Sync saturates below 20% load; OS-Swap near 50%; "
+               "AstriFlash tracks DRAM-only."),
+    )
+    for load in LOAD_POINTS:
+        arrival_rate = load * dram_max_rate
+        row = [load]
+        for model in models:
+            try:
+                latency = model.percentile_ns(percentile, arrival_rate)
+                row.append(latency / normalizer)
+            except ConfigurationError:
+                row.append(float("inf"))  # beyond this model's capacity
+        result.add_row(*row)
+    return result
+
+
+def max_load_within_slo(slo_factor: float = 40.0,
+                        percentile: float = 0.99) -> dict:
+    """Highest normalized load each design sustains under an SLO of
+    ``slo_factor`` x the average service time (the paper's Sec. III-A
+    observation uses 40x)."""
+    models = paper_figure3_models()
+    dram = next(m for m in models if m.name == "dram-only")
+    slo_ns = slo_factor * dram.work_ns
+    sustained = {}
+    for model in models:
+        best = 0.0
+        for step in range(1, 100):
+            load = step / 100.0
+            arrival = load * dram.max_throughput_per_second
+            try:
+                if model.percentile_ns(percentile, arrival) <= slo_ns:
+                    best = load
+            except ConfigurationError:
+                break
+        sustained[model.name] = best
+    return sustained

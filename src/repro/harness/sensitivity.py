@@ -1,0 +1,89 @@
+"""Sensitivity studies beyond the paper's figures.
+
+Two sweeps the paper's design discussion motivates but does not plot:
+
+* :func:`dram_fraction_sweep` — AstriFlash throughput (vs DRAM-only) as
+  the DRAM-cache fraction shrinks below / grows above the 3 % design
+  point.  Complements Fig. 1 (which only measures miss ratio) by
+  closing the loop through the full simulator.
+* :func:`thread_count_sweep` — throughput vs user threads per core:
+  the multiprogramming level must cover the flash stall
+  (Sec. III-A's M/M/k argument predicts a knee around
+  service/compute ≈ 6-8 threads; beyond that returns diminish).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.harness.common import (
+    ExperimentResult,
+    build_config,
+    resolve_scale,
+)
+from repro.core import Runner
+from repro.workloads import make_workload
+
+DRAM_FRACTIONS: Sequence[float] = (0.01, 0.02, 0.03, 0.05, 0.10)
+THREAD_COUNTS: Sequence[int] = (1, 2, 4, 8, 16, 48)
+
+
+def dram_fraction_sweep(scale="quick", workload_name: str = "tatp",
+                        seed: int = 42,
+                        fractions: Sequence[float] = DRAM_FRACTIONS
+                        ) -> ExperimentResult:
+    """AstriFlash throughput vs DRAM-cache capacity fraction."""
+    scale = resolve_scale(scale)
+    result = ExperimentResult(
+        experiment="sensitivity-dram-fraction",
+        title=(f"Sensitivity: AstriFlash throughput vs DRAM fraction "
+               f"({workload_name})"),
+        columns=["dram_fraction", "throughput_vs_dram_only", "miss_ratio"],
+        notes="The paper's 3% design point sits at the knee.",
+    )
+    baseline_config = build_config("dram-only", scale)
+    workload = make_workload(workload_name, scale.dataset_pages, seed=seed,
+                             **scale.workload_kwargs())
+    baseline = Runner(baseline_config, workload).run()
+    for fraction in fractions:
+        config = build_config("astriflash", scale)
+        config.scale.dram_fraction = fraction
+        workload = make_workload(workload_name, scale.dataset_pages,
+                                 seed=seed, **scale.workload_kwargs())
+        outcome = Runner(config, workload).run()
+        result.add_row(
+            fraction,
+            outcome.throughput_jobs_per_s / baseline.throughput_jobs_per_s,
+            outcome.miss_ratio,
+        )
+    return result
+
+
+def thread_count_sweep(scale="quick", workload_name: str = "tatp",
+                       seed: int = 42,
+                       thread_counts: Sequence[int] = THREAD_COUNTS
+                       ) -> ExperimentResult:
+    """AstriFlash throughput vs user-level threads per core."""
+    scale = resolve_scale(scale)
+    result = ExperimentResult(
+        experiment="sensitivity-threads",
+        title=(f"Sensitivity: AstriFlash throughput vs threads/core "
+               f"({workload_name})"),
+        columns=["threads_per_core", "throughput_jobs_per_s",
+                 "core_busy_fraction"],
+        notes=("One thread degenerates to Flash-Sync; the knee sits "
+               "where the pool covers the flash stall (M/M/k)."),
+    )
+    for threads in thread_counts:
+        config = build_config("astriflash", scale)
+        config.ult = dataclasses.replace(
+            config.ult, threads_per_core=threads,
+            pending_queue_limit=max(1, threads),
+        )
+        workload = make_workload(workload_name, scale.dataset_pages,
+                                 seed=seed, **scale.workload_kwargs())
+        outcome = Runner(config, workload).run()
+        result.add_row(threads, outcome.throughput_jobs_per_s,
+                       outcome.core_busy_fraction)
+    return result

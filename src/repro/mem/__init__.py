@@ -1,0 +1,5 @@
+"""On-chip SRAM cache hierarchy models."""
+
+from repro.mem.cache import CacheHierarchy, SramCache
+
+__all__ = ["CacheHierarchy", "SramCache"]

@@ -1,0 +1,130 @@
+"""On-chip SRAM cache model.
+
+A functional set-associative cache with LRU replacement and a bounded
+MSHR file.  The performance simulation folds on-chip hit latency into
+workload compute segments (DESIGN.md), but this model backs:
+
+* unit tests of the miss-signal reclaim path (Sec. IV-C1: a DRAM-cache
+  miss frees the MSHRs at every level on its way to the core);
+* the LLC-filtering estimate used by workload calibration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.stats import CounterSet
+from repro.units import CACHE_BLOCK_SIZE
+
+
+class SramCache:
+    """A set-associative cache of 64 B blocks with LRU replacement."""
+
+    def __init__(self, capacity_bytes: int, associativity: int = 16,
+                 block_size: int = CACHE_BLOCK_SIZE, name: str = "llc",
+                 mshr_entries: int = 16) -> None:
+        if capacity_bytes < block_size * associativity:
+            raise ConfigurationError("cache smaller than one set")
+        if associativity < 1 or mshr_entries < 1:
+            raise ConfigurationError("associativity and MSHRs must be positive")
+        self.name = name
+        self.block_size = block_size
+        self.associativity = associativity
+        self.num_sets = capacity_bytes // (block_size * associativity)
+        self.mshr_entries = mshr_entries
+        # set index -> list of (tag, last_touch) in way order
+        self._sets: List[Dict[int, int]] = [dict() for _ in range(self.num_sets)]
+        self._clock = 0
+        self._outstanding: Dict[int, int] = {}  # block address -> waiter count
+        self.stats = CounterSet(name)
+
+    def _index_tag(self, address: int) -> tuple:
+        block = address // self.block_size
+        return block % self.num_sets, block
+
+    def access(self, address: int) -> bool:
+        """Look up one address; fills on miss.  Returns hit/miss."""
+        index, tag = self._index_tag(address)
+        ways = self._sets[index]
+        self._clock += 1
+        if tag in ways:
+            ways[tag] = self._clock
+            self.stats.add("hits")
+            return True
+        self.stats.add("misses")
+        if len(ways) >= self.associativity:
+            lru_tag = min(ways, key=ways.get)
+            del ways[lru_tag]
+            self.stats.add("evictions")
+        ways[tag] = self._clock
+        return False
+
+    def contains(self, address: int) -> bool:
+        index, tag = self._index_tag(address)
+        return tag in self._sets[index]
+
+    # -- MSHR / miss-signal path -----------------------------------------------
+
+    def allocate_mshr(self, address: int) -> None:
+        """Track an outstanding fill for ``address``'s block."""
+        if len(self._outstanding) >= self.mshr_entries:
+            raise CapacityError(f"{self.name} MSHRs exhausted")
+        block = address // self.block_size
+        self._outstanding[block] = self._outstanding.get(block, 0) + 1
+
+    def reclaim_mshr(self, address: int) -> None:
+        """Free the MSHR on data return *or* on a DRAM-cache miss
+        signal travelling up the hierarchy (Sec. IV-C1)."""
+        block = address // self.block_size
+        count = self._outstanding.get(block)
+        if count is None:
+            raise CapacityError(f"no outstanding fill for block {block}")
+        if count == 1:
+            del self._outstanding[block]
+        else:
+            self._outstanding[block] = count - 1
+        self.stats.add("mshr_reclaims")
+
+    @property
+    def outstanding_fills(self) -> int:
+        return sum(self._outstanding.values())
+
+    def miss_ratio(self) -> float:
+        total = self.stats["hits"] + self.stats["misses"]
+        if total == 0:
+            return 0.0
+        return self.stats["misses"] / total
+
+
+class CacheHierarchy:
+    """A simple L1/L2/LLC inclusive hierarchy for miss-signal tests."""
+
+    def __init__(self, levels: Optional[List[SramCache]] = None) -> None:
+        if levels is None:
+            levels = [
+                SramCache(64 * 1024, associativity=4, name="l1", mshr_entries=8),
+                SramCache(512 * 1024, associativity=8, name="l2", mshr_entries=12),
+                SramCache(2 * 1024 * 1024, associativity=16, name="llc",
+                          mshr_entries=16),
+            ]
+        if not levels:
+            raise ConfigurationError("hierarchy needs at least one level")
+        self.levels = levels
+
+    def access(self, address: int) -> int:
+        """Returns the number of levels missed (0 = L1 hit)."""
+        for depth, cache in enumerate(self.levels):
+            if cache.access(address):
+                return depth
+        return len(self.levels)
+
+    def track_outstanding(self, address: int) -> None:
+        """A request missed all levels: MSHRs allocated at each."""
+        for cache in self.levels:
+            cache.allocate_mshr(address)
+
+    def reclaim_on_miss_signal(self, address: int) -> None:
+        """DRAM-cache miss signal: reclaim MSHRs bottom-up."""
+        for cache in reversed(self.levels):
+            cache.reclaim_mshr(address)

@@ -1,0 +1,6 @@
+"""OS substrate for the OS-Swap baseline: demand paging + resident set."""
+
+from repro.osmodel.paging import DemandPager
+from repro.osmodel.resident import ResidentSetManager
+
+__all__ = ["DemandPager", "ResidentSetManager"]

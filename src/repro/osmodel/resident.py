@@ -1,0 +1,75 @@
+"""OS-managed resident-set (physical memory) bookkeeping.
+
+Under OS-Swap the DRAM is not a hardware cache: the kernel tracks which
+pages are resident, picks victims with an LRU-approximating policy, and
+swaps against flash.  Functionally this mirrors the DRAM-cache
+organization but is fully associative (the OS can place any page in any
+frame) and is guarded by kernel locks, modelled in
+:mod:`repro.osmodel.paging`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.stats import CounterSet
+
+
+class ResidentSetManager:
+    """Fully-associative LRU resident set of ``capacity`` page frames."""
+
+    def __init__(self, capacity_pages: int) -> None:
+        if capacity_pages < 1:
+            raise ConfigurationError("resident set needs at least one frame")
+        self.capacity = capacity_pages
+        self._resident: "OrderedDict[int, bool]" = OrderedDict()  # page -> dirty
+        self.stats = CounterSet("resident-set")
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def lookup(self, page: int, is_write: bool = False) -> bool:
+        """Check residency; hits touch LRU and may set the dirty bit."""
+        if page in self._resident:
+            self._resident.move_to_end(page)
+            if is_write:
+                self._resident[page] = True
+            self.stats.add("hits")
+            return True
+        self.stats.add("faults")
+        return False
+
+    def is_resident(self, page: int) -> bool:
+        return page in self._resident
+
+    def insert(self, page: int, dirty: bool = False
+               ) -> Optional[Tuple[int, bool]]:
+        """Map a faulted-in page; returns the evicted ``(page, dirty)``
+        if a frame had to be reclaimed."""
+        victim: Optional[Tuple[int, bool]] = None
+        if page in self._resident:
+            self._resident.move_to_end(page)
+            if dirty:
+                self._resident[page] = True
+            return None
+        if len(self._resident) >= self.capacity:
+            victim = self._resident.popitem(last=False)
+            self.stats.add("evictions")
+            if victim[1]:
+                self.stats.add("dirty_evictions")
+        self._resident[page] = dirty
+        self.stats.add("insertions")
+        return victim
+
+    def fault_ratio(self) -> float:
+        total = self.stats["hits"] + self.stats["faults"]
+        if total == 0:
+            return 0.0
+        return self.stats["faults"] / total
+
+    def warm(self, pages) -> None:
+        """Pre-populate frames (experiment warmup)."""
+        for page in pages:
+            self.insert(page)

@@ -1,0 +1,18 @@
+"""Discrete-event simulation kernel (event queue, processes, resources)."""
+
+from repro.sim.engine import Engine, Event
+from repro.sim.process import Process, ProcessGenerator, Signal, observe, spawn
+from repro.sim.resources import Ready, Server, Store
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Process",
+    "ProcessGenerator",
+    "Ready",
+    "Server",
+    "Signal",
+    "observe",
+    "Store",
+    "spawn",
+]

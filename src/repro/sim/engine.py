@@ -1,0 +1,150 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately small and dependency-free: an event queue
+ordered by ``(time, sequence)`` plus a generator-based *process* layer
+in :mod:`repro.sim.process`.  All hardware components in the library
+are built on top of these two primitives.
+
+Times are floats in nanoseconds (see :mod:`repro.units`).  Ties are
+broken by insertion order, which makes runs fully deterministic for a
+given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+Callback = Callable[..., None]
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`Engine.schedule` /
+    :meth:`Engine.schedule_at` and can be cancelled with
+    :meth:`Engine.cancel`.  A cancelled event stays in the heap but is
+    skipped when popped.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callback, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"<Event t={self.time:.1f} #{self.seq} {name}{state}>"
+
+
+class Engine:
+    """The event loop.
+
+    >>> engine = Engine()
+    >>> fired = []
+    >>> _ = engine.schedule(10.0, fired.append, "a")
+    >>> _ = engine.schedule(5.0, fired.append, "b")
+    >>> engine.run()
+    >>> fired
+    ['b', 'a']
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[Event] = []
+        self._seq = 0
+        self._running = False
+        self._live_events = 0
+
+    # -- time ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callback, *args: Any) -> Event:
+        """Run ``callback(*args)`` after ``delay`` nanoseconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callback, *args: Any) -> Event:
+        """Run ``callback(*args)`` at absolute time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        event = Event(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        self._live_events += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event.  Cancelling twice is an error."""
+        if event.cancelled:
+            raise SimulationError(f"event already cancelled: {event!r}")
+        event.cancelled = True
+        self._live_events -= 1
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False if none left."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._live_events -= 1
+            self._now = event.time
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains, or until simulation time ``until``.
+
+        When ``until`` is given the clock is advanced to exactly
+        ``until`` even if the last event fired earlier.
+        """
+        if self._running:
+            raise SimulationError("engine.run() re-entered")
+        self._running = True
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self._live_events -= 1
+                self._now = event.time
+                event.callback(*event.args)
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events in the queue."""
+        return self._live_events
+
+    def __repr__(self) -> str:
+        return f"<Engine t={self._now:.1f} pending={self.pending_events}>"

@@ -1,0 +1,26 @@
+"""Measurement utilities: counters, histograms, latency/throughput trackers."""
+
+from repro.stats.counters import CounterSet
+from repro.stats.histogram import ExactReservoir, LogHistogram, percentile
+from repro.stats.sampling import (
+    SampledMeasurement,
+    measure,
+    measure_until,
+    summarize,
+    t_critical_95,
+)
+from repro.stats.tracker import LatencyTracker, ThroughputTracker
+
+__all__ = [
+    "CounterSet",
+    "ExactReservoir",
+    "LatencyTracker",
+    "LogHistogram",
+    "SampledMeasurement",
+    "measure",
+    "measure_until",
+    "summarize",
+    "t_critical_95",
+    "ThroughputTracker",
+    "percentile",
+]

@@ -1,0 +1,51 @@
+"""Named counters and rate/ratio helpers used by every component."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ReproError
+
+
+class CounterSet:
+    """A bag of named monotonically-increasing counters.
+
+    Components expose a ``stats`` attribute of this type; the harness
+    collects them into report rows.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._counters: Dict[str, float] = {}
+
+    def add(self, key: str, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ReproError(f"counter {key!r} decremented by {amount}")
+        self._counters[key] = self._counters.get(key, 0.0) + amount
+
+    def get(self, key: str) -> float:
+        return self._counters.get(key, 0.0)
+
+    def __getitem__(self, key: str) -> float:
+        return self.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._counters
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """``numerator / denominator`` counters; 0 when denominator is 0."""
+        denom = self.get(denominator)
+        if denom == 0:
+            return 0.0
+        return self.get(numerator) / denom
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._counters)
+
+    def merge(self, other: "CounterSet") -> None:
+        for key, value in other._counters.items():
+            self.add(key, value)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v:g}" for k, v in sorted(self._counters.items()))
+        return f"<CounterSet {self.name} {inner}>"

@@ -1,0 +1,176 @@
+"""Latency histograms and percentile estimation.
+
+Two implementations:
+
+* :class:`ExactReservoir` — stores every sample; exact percentiles.
+  Used for service-time distributions where sample counts are modest.
+* :class:`LogHistogram` — HdrHistogram-style logarithmic bucketing with
+  bounded error; used for long tail-latency sweeps where millions of
+  samples may be recorded.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+from repro.errors import ReproError
+
+
+def percentile(sorted_samples: Sequence[float], fraction: float) -> float:
+    """Exact percentile (nearest-rank with linear interpolation) of a
+    pre-sorted sequence.
+
+    ``fraction`` is in [0, 1]; e.g. 0.99 for the 99th percentile.
+    """
+    if not sorted_samples:
+        raise ReproError("percentile of empty sample set")
+    if not 0.0 <= fraction <= 1.0:
+        raise ReproError(f"percentile fraction out of range: {fraction}")
+    if len(sorted_samples) == 1:
+        return float(sorted_samples[0])
+    rank = fraction * (len(sorted_samples) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return float(sorted_samples[low])
+    weight = rank - low
+    return float(sorted_samples[low]) * (1 - weight) + float(sorted_samples[high]) * weight
+
+
+class ExactReservoir:
+    """Stores all samples for exact statistics."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+        self._sorted = True
+
+    def record(self, value: float) -> None:
+        if self._samples and value < self._samples[-1]:
+            self._sorted = False
+        self._samples.append(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+
+    def percentile(self, fraction: float) -> float:
+        self._ensure_sorted()
+        return percentile(self._samples, fraction)
+
+    def mean(self) -> float:
+        if not self._samples:
+            raise ReproError("mean of empty sample set")
+        return sum(self._samples) / len(self._samples)
+
+    def min(self) -> float:
+        self._ensure_sorted()
+        if not self._samples:
+            raise ReproError("min of empty sample set")
+        return self._samples[0]
+
+    def max(self) -> float:
+        self._ensure_sorted()
+        if not self._samples:
+            raise ReproError("max of empty sample set")
+        return self._samples[-1]
+
+    def samples(self) -> List[float]:
+        """A sorted copy of all recorded samples."""
+        self._ensure_sorted()
+        return list(self._samples)
+
+
+class LogHistogram:
+    """Logarithmically-bucketed histogram with bounded relative error.
+
+    Values are assigned to bucket ``floor(log(value, base))`` with
+    ``sub`` linear sub-buckets per decade step, giving a worst-case
+    relative error of roughly ``base**(1/sub) - 1``.
+    """
+
+    def __init__(self, min_value: float = 1.0, precision: int = 64) -> None:
+        if min_value <= 0:
+            raise ReproError("LogHistogram min_value must be positive")
+        if precision < 2:
+            raise ReproError("LogHistogram precision must be >= 2")
+        self._min_value = min_value
+        self._precision = precision
+        self._log_base = math.log(2.0) / precision  # sub-buckets per octave
+        self._buckets: dict = {}
+        self._count = 0
+        self._sum = 0.0
+        self._max = float("-inf")
+        self._min = float("inf")
+
+    def _bucket_index(self, value: float) -> int:
+        clamped = max(value, self._min_value)
+        return int(math.log(clamped / self._min_value) / self._log_base)
+
+    def _bucket_value(self, index: int) -> float:
+        # Midpoint of the bucket in log space.
+        return self._min_value * math.exp((index + 0.5) * self._log_base)
+
+    def record(self, value: float) -> None:
+        index = self._bucket_index(value)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+        self._count += 1
+        self._sum += value
+        self._max = max(self._max, value)
+        self._min = min(self._min, value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def mean(self) -> float:
+        if self._count == 0:
+            raise ReproError("mean of empty histogram")
+        return self._sum / self._count
+
+    def max(self) -> float:
+        if self._count == 0:
+            raise ReproError("max of empty histogram")
+        return self._max
+
+    def min(self) -> float:
+        if self._count == 0:
+            raise ReproError("min of empty histogram")
+        return self._min
+
+    def percentile(self, fraction: float) -> float:
+        if self._count == 0:
+            raise ReproError("percentile of empty histogram")
+        if not 0.0 <= fraction <= 1.0:
+            raise ReproError(f"percentile fraction out of range: {fraction}")
+        target = fraction * self._count
+        seen = 0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen >= target:
+                return min(self._bucket_value(index), self._max)
+        return self._max
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold ``other``'s samples into this histogram (same params)."""
+        if other._precision != self._precision or other._min_value != self._min_value:
+            raise ReproError("cannot merge histograms with different parameters")
+        for index, count in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + count
+        self._count += other._count
+        self._sum += other._sum
+        if other._count:
+            self._max = max(self._max, other._max)
+            self._min = min(self._min, other._min)

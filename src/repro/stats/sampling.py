@@ -1,0 +1,111 @@
+"""Sampled measurement with confidence intervals.
+
+The paper's methodology descends from SimFlex statistical sampling
+(Wenisch et al., cited as [78]): instead of one long simulation,
+measure several independent samples and report a mean with a
+confidence interval, stopping when the interval is tight enough.
+
+:func:`measure` runs an experiment callable over multiple seeds and
+returns a :class:`SampledMeasurement` (mean, half-width, relative
+error) using a t-distribution; :func:`measure_until` keeps adding
+samples until a target relative error is met or a sample budget runs
+out.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.errors import ConfigurationError
+
+# Two-sided t-distribution critical values at 95% confidence, indexed
+# by degrees of freedom (1..30); beyond 30 the normal value is used.
+_T_95 = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+    2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+    2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+    2.048, 2.045, 2.042,
+]
+_Z_95 = 1.960
+
+
+def t_critical_95(degrees_of_freedom: int) -> float:
+    """Two-sided 95% t critical value."""
+    if degrees_of_freedom < 1:
+        raise ConfigurationError("need at least one degree of freedom")
+    if degrees_of_freedom <= len(_T_95):
+        return _T_95[degrees_of_freedom - 1]
+    return _Z_95
+
+
+@dataclass(frozen=True)
+class SampledMeasurement:
+    """Mean with a 95% confidence interval."""
+
+    samples: List[float]
+    mean: float
+    half_width: float
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def relative_error(self) -> float:
+        """Half-width as a fraction of the mean (inf for mean 0)."""
+        if self.mean == 0:
+            return math.inf
+        return abs(self.half_width / self.mean)
+
+    @property
+    def interval(self) -> tuple:
+        return (self.mean - self.half_width, self.mean + self.half_width)
+
+    def describe(self) -> str:
+        return (f"{self.mean:,.1f} +- {self.half_width:,.1f} "
+                f"({self.relative_error:.1%} rel, n={self.count})")
+
+
+def summarize(samples: List[float]) -> SampledMeasurement:
+    """Mean + 95% CI of independent samples."""
+    if len(samples) < 2:
+        raise ConfigurationError("need at least two samples for a CI")
+    n = len(samples)
+    mean = sum(samples) / n
+    variance = sum((s - mean) ** 2 for s in samples) / (n - 1)
+    half_width = t_critical_95(n - 1) * math.sqrt(variance / n)
+    return SampledMeasurement(list(samples), mean, half_width)
+
+
+def measure(experiment: Callable[[int], float], num_samples: int = 5,
+            base_seed: int = 42) -> SampledMeasurement:
+    """Run ``experiment(seed)`` for ``num_samples`` seeds and summarize."""
+    if num_samples < 2:
+        raise ConfigurationError("need at least two samples")
+    samples = [experiment(base_seed + index) for index in range(num_samples)]
+    return summarize(samples)
+
+
+def measure_until(experiment: Callable[[int], float],
+                  target_relative_error: float = 0.05,
+                  min_samples: int = 3, max_samples: int = 20,
+                  base_seed: int = 42) -> SampledMeasurement:
+    """Add samples until the 95% CI is within the target relative error
+    (SimFlex-style adaptive sampling), bounded by ``max_samples``."""
+    if not 0.0 < target_relative_error < 1.0:
+        raise ConfigurationError("target relative error out of (0,1)")
+    if min_samples < 2 or max_samples < min_samples:
+        raise ConfigurationError("bad sample bounds")
+    samples: List[float] = []
+    measurement: Optional[SampledMeasurement] = None
+    for index in range(max_samples):
+        samples.append(experiment(base_seed + index))
+        if len(samples) >= min_samples:
+            measurement = summarize(samples)
+            if measurement.relative_error <= target_relative_error:
+                return measurement
+    if measurement is None:
+        measurement = summarize(samples)
+    return measurement

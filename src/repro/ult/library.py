@@ -1,0 +1,108 @@
+"""Per-core user-level threading library (Sec. IV-D).
+
+`ThreadLibrary` owns the bounded pool of worker-thread contexts for one
+core, the scheduler, and the handler-address installation handshake
+with the core's miss-handling registers.  It is the software half of
+the switch-on-miss co-design; the core loop in
+:mod:`repro.core.runner` drives it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.config.system import UltConfig
+from repro.cpu.core import MissHandlingRegisters
+from repro.errors import ConfigurationError
+from repro.stats import CounterSet
+from repro.ult.scheduler import UltScheduler, make_scheduler
+from repro.ult.thread import ThreadState, UserThread
+
+# Virtual address where the scheduler's miss handler is linked; any
+# nonzero value works for the model, the OS validates it on install.
+SCHEDULER_HANDLER_VA = 0x7F00_0000
+
+
+class ThreadLibrary:
+    """Thread pool + scheduler for one physical core."""
+
+    def __init__(self, core_id: int, config: UltConfig,
+                 registers: Optional[MissHandlingRegisters] = None) -> None:
+        if config.threads_per_core < 1:
+            raise ConfigurationError("need at least one worker thread")
+        self.core_id = core_id
+        self.config = config
+        self.scheduler: UltScheduler = make_scheduler(config)
+        self._threads: List[UserThread] = [
+            UserThread(tid, core_id) for tid in range(config.threads_per_core)
+        ]
+        self._free: List[UserThread] = list(self._threads)
+        self.stats = CounterSet(f"ult{core_id}")
+        if registers is not None:
+            self.install_handler(registers)
+
+    # -- handler installation (Sec. IV-C2) --------------------------------------
+
+    def install_handler(self, registers: MissHandlingRegisters) -> None:
+        """System call: validate and install the scheduler handler
+        address into the privileged register."""
+        registers.install_handler(SCHEDULER_HANDLER_VA, privileged=True)
+        self.stats.add("handler_installs")
+
+    # -- job admission -------------------------------------------------------------
+
+    @property
+    def free_contexts(self) -> int:
+        return len(self._free)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._threads) - len(self._free)
+
+    def can_admit(self) -> bool:
+        return bool(self._free)
+
+    def admit(self, job: Any, now: float) -> UserThread:
+        """Bind a job from the global queue to a free context."""
+        if not self._free:
+            raise ConfigurationError("no free thread contexts")
+        thread = self._free.pop()
+        thread.bind(job, now)
+        self.scheduler.add_new(thread)
+        self.stats.add("admitted")
+        return thread
+
+    # -- lifecycle events -------------------------------------------------------------
+
+    def on_miss(self, thread: UserThread, page: int, now: float) -> None:
+        """Running thread halted by a miss signal: park it pending."""
+        thread.halt_on_miss(page, now)
+        self.scheduler.add_pending(thread)
+        self.scheduler.note_miss()
+        self.stats.add("miss_halts")
+
+    def on_data_ready(self, thread: UserThread, now: float) -> None:
+        """Queue-pair notification: the thread's page arrived."""
+        if thread.state is ThreadState.PENDING:
+            thread.data_arrived(now)
+            self.stats.add("data_notifications")
+
+    def on_finish(self, thread: UserThread) -> Any:
+        """Job ran to completion: recycle the context."""
+        job = thread.finish()
+        self._free.append(thread)
+        self.stats.add("completed")
+        return job
+
+    # -- dispatch -------------------------------------------------------------
+
+    def pick_next(self, now: float, avg_flash_response_ns: float
+                  ) -> Optional[UserThread]:
+        thread = self.scheduler.pick_next(now, avg_flash_response_ns)
+        if thread is not None:
+            self.stats.add("dispatches")
+        return thread
+
+    @property
+    def switch_latency_ns(self) -> float:
+        return self.config.switch_latency_ns

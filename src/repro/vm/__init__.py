@@ -1,0 +1,15 @@
+"""Virtual-memory substrate: page tables, TLBs, walker, shootdowns."""
+
+from repro.vm.address_space import AddressSpace
+from repro.vm.page_table import PageTable
+from repro.vm.shootdown import TlbShootdownModel
+from repro.vm.tlb import Tlb
+from repro.vm.walker import PageTableWalker
+
+__all__ = [
+    "AddressSpace",
+    "PageTable",
+    "PageTableWalker",
+    "Tlb",
+    "TlbShootdownModel",
+]

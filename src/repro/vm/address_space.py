@@ -1,0 +1,103 @@
+"""Per-process address space: page table + TLB + walker, glued.
+
+Sec. II-B's virtual-memory abstraction as an executable object: the
+application maps virtual pages once and uses permanent virtual
+addresses forever; translation goes TLB-first, walks the radix table on
+a miss, and unmapping invalidates every core's TLB through the
+shootdown machinery.
+
+The full-system runner models translation costs statistically (see
+DESIGN.md); this class is the functional counterpart used by tests,
+tooling, and anyone extending the repo toward a page-accurate VM.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Tuple
+
+from repro.config.system import OsConfig
+from repro.errors import WorkloadError
+from repro.stats import CounterSet
+from repro.vm.page_table import PageTable
+from repro.vm.shootdown import TlbShootdownModel
+from repro.vm.tlb import Tlb
+from repro.vm.walker import PageTableWalker
+
+
+class AddressSpace:
+    """One process's translations across a multi-core machine."""
+
+    def __init__(self, num_cores: int, tlb_entries: int = 64,
+                 os_config: Optional[OsConfig] = None,
+                 pt_page_allocator=None) -> None:
+        if pt_page_allocator is None:
+            counter = itertools.count(1 << 40)
+            pt_page_allocator = lambda: next(counter)  # noqa: E731
+        self.page_table = PageTable(pt_page_allocator)
+        self.walker = PageTableWalker(self.page_table)
+        self.tlbs: List[Tlb] = [
+            Tlb(tlb_entries, name=f"tlb{core}") for core in range(num_cores)
+        ]
+        self.shootdown = TlbShootdownModel(os_config or OsConfig(),
+                                           num_cores)
+        self._next_ppn = 0
+        self.stats = CounterSet("address-space")
+
+    # -- mapping -------------------------------------------------------------
+
+    def map(self, vpn: int, ppn: Optional[int] = None) -> int:
+        """Install a translation; allocates a PPN when none is given."""
+        if self.page_table.translate(vpn) is not None:
+            raise WorkloadError(f"vpn {vpn} already mapped")
+        if ppn is None:
+            ppn = self._next_ppn
+            self._next_ppn += 1
+        self.page_table.map(vpn, ppn)
+        self.stats.add("maps")
+        return ppn
+
+    def unmap(self, vpn: int) -> float:
+        """Remove a translation; returns the shootdown latency paid."""
+        self.page_table.unmap(vpn)
+        latency = self.shootdown.execute(vpn, self.tlbs)
+        self.stats.add("unmaps")
+        return latency
+
+    # -- translation -----------------------------------------------------------
+
+    def translate(self, core_id: int, vpn: int) -> Tuple[int, List[int]]:
+        """Translate on ``core_id``.
+
+        Returns ``(ppn, walk_pages)`` where ``walk_pages`` is empty on
+        a TLB hit and lists the table pages the hardware walker read on
+        a miss.  Raises :class:`WorkloadError` for unmapped addresses
+        (the OS would fault).
+        """
+        tlb = self.tlbs[core_id]
+        ppn = tlb.lookup(vpn)
+        if ppn is not None:
+            self.stats.add("tlb_hits")
+            return ppn, []
+        walk_pages = self.walker.walk_pages(vpn)
+        ppn = self.page_table.translate(vpn)
+        if ppn is None:
+            self.stats.add("translation_faults")
+            raise WorkloadError(f"vpn {vpn} is not mapped")
+        tlb.insert(vpn, ppn)
+        self.stats.add("tlb_fills")
+        return ppn, walk_pages
+
+    # -- reporting --------------------------------------------------------------
+
+    def tlb_hit_ratio(self) -> float:
+        hits = self.stats["tlb_hits"]
+        total = hits + self.stats["tlb_fills"] + \
+            self.stats["translation_faults"]
+        if total == 0:
+            return 0.0
+        return hits / total
+
+    @property
+    def mapped_pages(self) -> int:
+        return self.page_table.mapping_count

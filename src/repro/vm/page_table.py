@@ -1,0 +1,124 @@
+"""Four-level radix page table.
+
+Used two ways:
+
+* functionally — translating virtual page numbers and enumerating the
+  table pages a hardware walk touches;
+* for placement — every table node lives on a page whose number comes
+  from an allocator callback, so the system can put page tables in the
+  flat DRAM partition (AstriFlash) or in flash-backed cached space
+  (AstriFlash-noDP), which is exactly the Sec. IV-A design point.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError, WorkloadError
+
+PageAllocator = Callable[[], int]
+
+
+class _Node:
+    """One radix-tree node occupying one physical page."""
+
+    __slots__ = ("page", "children")
+
+    def __init__(self, page: int) -> None:
+        self.page = page
+        self.children: Dict[int, object] = {}
+
+
+class PageTable:
+    """A radix page table with configurable depth and fan-out bits."""
+
+    def __init__(self, node_page_allocator: PageAllocator,
+                 levels: int = 4, bits_per_level: int = 9) -> None:
+        if levels < 1:
+            raise ConfigurationError("page table needs at least one level")
+        if bits_per_level < 1:
+            raise ConfigurationError("bits per level must be positive")
+        self.levels = levels
+        self.bits_per_level = bits_per_level
+        self._allocate_page = node_page_allocator
+        self._root = _Node(self._allocate_page())
+        self._mappings = 0
+
+    def _indices(self, vpn: int) -> List[int]:
+        mask = (1 << self.bits_per_level) - 1
+        indices = []
+        for level in range(self.levels):
+            shift = (self.levels - 1 - level) * self.bits_per_level
+            indices.append((vpn >> shift) & mask)
+        return indices
+
+    def map(self, vpn: int, ppn: int) -> None:
+        """Install a translation, allocating interior nodes as needed."""
+        node = self._root
+        indices = self._indices(vpn)
+        for index in indices[:-1]:
+            child = node.children.get(index)
+            if child is None:
+                child = _Node(self._allocate_page())
+                node.children[index] = child
+            elif not isinstance(child, _Node):
+                raise WorkloadError(f"vpn {vpn} collides with an existing leaf")
+            node = child
+        node.children[indices[-1]] = ppn
+        self._mappings += 1
+
+    def translate(self, vpn: int) -> Optional[int]:
+        """The mapped PPN, or None when unmapped."""
+        node = self._root
+        indices = self._indices(vpn)
+        for index in indices[:-1]:
+            child = node.children.get(index)
+            if not isinstance(child, _Node):
+                return None
+            node = child
+        leaf = node.children.get(indices[-1])
+        return leaf if isinstance(leaf, int) else None
+
+    def unmap(self, vpn: int) -> int:
+        """Remove a translation; returns the old PPN."""
+        node = self._root
+        indices = self._indices(vpn)
+        for index in indices[:-1]:
+            child = node.children.get(index)
+            if not isinstance(child, _Node):
+                raise WorkloadError(f"vpn {vpn} is not mapped")
+            node = child
+        leaf = node.children.pop(indices[-1], None)
+        if not isinstance(leaf, int):
+            raise WorkloadError(f"vpn {vpn} is not mapped")
+        self._mappings -= 1
+        return leaf
+
+    def walk_path(self, vpn: int) -> List[int]:
+        """Pages a hardware walker reads for this translation, root
+        first.  Shorter than ``levels`` if the walk aborts early."""
+        pages = [self._root.page]
+        node = self._root
+        for index in self._indices(vpn)[:-1]:
+            child = node.children.get(index)
+            if not isinstance(child, _Node):
+                break
+            node = child
+            pages.append(node.page)
+        return pages
+
+    @property
+    def mapping_count(self) -> int:
+        return self._mappings
+
+    def node_count(self) -> int:
+        """Total radix nodes (page-table memory footprint in pages)."""
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            for child in node.children.values():
+                if isinstance(child, _Node):
+                    stack.append(child)
+        return count

@@ -1,0 +1,64 @@
+"""TLB model with LRU replacement and shootdown invalidation."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.stats import CounterSet
+
+
+class Tlb:
+    """A single-level TLB (stands in for the paper's L1/L2 hierarchy)."""
+
+    def __init__(self, entries: int, name: str = "tlb") -> None:
+        if entries < 1:
+            raise ConfigurationError("TLB needs at least one entry")
+        self.capacity = entries
+        self.name = name
+        self._entries: "OrderedDict[int, int]" = OrderedDict()
+        self.stats = CounterSet(name)
+
+    def lookup(self, vpn: int) -> Optional[int]:
+        """Translate; None on a TLB miss."""
+        ppn = self._entries.get(vpn)
+        if ppn is None:
+            self.stats.add("misses")
+            return None
+        self._entries.move_to_end(vpn)
+        self.stats.add("hits")
+        return ppn
+
+    def insert(self, vpn: int, ppn: int) -> None:
+        if vpn in self._entries:
+            self._entries.move_to_end(vpn)
+            self._entries[vpn] = ppn
+            return
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.add("evictions")
+        self._entries[vpn] = ppn
+
+    def invalidate(self, vpn: int) -> bool:
+        """Shootdown of one translation; True if it was present."""
+        present = self._entries.pop(vpn, None) is not None
+        if present:
+            self.stats.add("invalidations")
+        return present
+
+    def flush(self) -> int:
+        """Full flush (context switch without ASID support)."""
+        count = len(self._entries)
+        self._entries.clear()
+        self.stats.add("flushes")
+        return count
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def hit_ratio(self) -> float:
+        total = self.stats["hits"] + self.stats["misses"]
+        if total == 0:
+            return 0.0
+        return self.stats["hits"] / total

@@ -1,0 +1,43 @@
+"""Hardware page-table walker model.
+
+The walker performs a serialized pointer chase through the radix table.
+Under DRAM partitioning (Sec. IV-A) every step is a flat-DRAM access;
+without it (`AstriFlash-noDP`) the steps go through the DRAM cache and
+can individually miss to flash, which is what blows up the tail in
+Table II.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.stats import CounterSet
+from repro.vm.page_table import PageTable
+
+
+class PageTableWalker:
+    """Walks a :class:`PageTable`, charging a per-step access callback.
+
+    The access callback abstracts where table pages live; it receives a
+    page number and returns nothing (timing handled by the caller's
+    simulation process).
+    """
+
+    def __init__(self, page_table: PageTable) -> None:
+        self.page_table = page_table
+        self.stats = CounterSet("walker")
+
+    def walk_pages(self, vpn: int) -> List[int]:
+        """Table pages touched by a full walk for ``vpn``."""
+        self.stats.add("walks")
+        pages = self.page_table.walk_path(vpn)
+        self.stats.add("steps", len(pages))
+        return pages
+
+    def walk_latency_ns(self, vpn: int,
+                        step_latency: Callable[[int], float]) -> float:
+        """Serialized walk latency given a per-page latency function."""
+        total = 0.0
+        for page in self.walk_pages(vpn):
+            total += step_latency(page)
+        return total

@@ -1,0 +1,47 @@
+"""Workloads: Zipfian generator, paged data structures, the seven
+evaluated applications, and arrival processes."""
+
+from repro.workloads.arrayswap import ArraySwapWorkload
+from repro.workloads.arrival import ClosedLoop, PoissonArrivals
+from repro.workloads.base import Job, Step, Workload
+from repro.workloads.hashtable import HashIndex, HashTableWorkload
+from repro.workloads.masstree import Masstree, MasstreeWorkload
+from repro.workloads.masstree_layers import LayeredMasstree, key_slices
+from repro.workloads.pagedheap import PagedHeap, PageRef, SpreadHeap
+from repro.workloads.rbtree import RbtWorkload, RedBlackTree
+from repro.workloads.registry import (
+    EVALUATED_WORKLOADS,
+    make_workload,
+    workload_names,
+)
+from repro.workloads.silo import SiloWorkload
+from repro.workloads.tatp import TatpWorkload
+from repro.workloads.tpcc import TpccWorkload
+from repro.workloads.zipf import ZipfianGenerator
+
+__all__ = [
+    "ArraySwapWorkload",
+    "ClosedLoop",
+    "EVALUATED_WORKLOADS",
+    "HashIndex",
+    "HashTableWorkload",
+    "Job",
+    "LayeredMasstree",
+    "Masstree",
+    "MasstreeWorkload",
+    "PagedHeap",
+    "PageRef",
+    "PoissonArrivals",
+    "RbtWorkload",
+    "RedBlackTree",
+    "SiloWorkload",
+    "SpreadHeap",
+    "Step",
+    "TatpWorkload",
+    "TpccWorkload",
+    "Workload",
+    "ZipfianGenerator",
+    "key_slices",
+    "make_workload",
+    "workload_names",
+]

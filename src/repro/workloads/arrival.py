@@ -1,0 +1,42 @@
+"""Request arrival processes.
+
+* :class:`PoissonArrivals` — open-loop bursty arrivals for tail-latency
+  studies (Fig. 10 sweeps the mean inter-arrival time from 0 to 10 us);
+* :class:`ClosedLoop` — a saturating job source for maximum-throughput
+  measurements (Fig. 9 models "a large job queue").
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigurationError
+
+
+class PoissonArrivals:
+    """Exponential inter-arrival times with a given mean."""
+
+    def __init__(self, mean_interarrival_ns: float, seed: int = 42) -> None:
+        if mean_interarrival_ns <= 0:
+            raise ConfigurationError("mean inter-arrival must be positive")
+        self.mean_interarrival_ns = mean_interarrival_ns
+        self._rng = random.Random(seed)
+
+    def next_gap_ns(self) -> float:
+        """Time until the next request arrives."""
+        return self._rng.expovariate(1.0 / self.mean_interarrival_ns)
+
+    @property
+    def rate_per_second(self) -> float:
+        return 1e9 / self.mean_interarrival_ns
+
+
+class ClosedLoop:
+    """Always-backlogged source: a new job is available immediately."""
+
+    def next_gap_ns(self) -> float:
+        return 0.0
+
+    @property
+    def rate_per_second(self) -> float:
+        return float("inf")

@@ -1,0 +1,143 @@
+"""Chained hash table workload (microbenchmark suite, Sec. V-A).
+
+A real chained hash index: a packed bucket array (many buckets per
+page) plus chain entry nodes allocated from a spread heap.  Lookups
+touch the bucket page then chase the chain, producing the
+pointer-chasing page trace the paper's microbenchmark exercises.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Job, Step, Workload
+from repro.workloads.pagedheap import PagedHeap, SpreadHeap
+from repro.workloads.zipf import ZipfianGenerator
+
+# A bucket head pointer is 8 bytes: 512 buckets per 4 KiB page.
+BUCKETS_PER_PAGE = 512
+ENTRY_SIZE_BYTES = 48
+
+
+class _Entry:
+    __slots__ = ("key", "page", "next_entry")
+
+    def __init__(self, key: int, page: int) -> None:
+        self.key = key
+        self.page = page
+        self.next_entry: Optional["_Entry"] = None
+
+
+class HashIndex:
+    """A bucketed chain hash index with page-path lookups."""
+
+    def __init__(self, num_buckets: int, base_page: int, page_budget: int,
+                 expected_entries: int) -> None:
+        if num_buckets < 1:
+            raise WorkloadError("need at least one bucket")
+        self.num_buckets = num_buckets
+        bucket_pages = -(-num_buckets // BUCKETS_PER_PAGE)  # ceil
+        if bucket_pages >= page_budget:
+            raise WorkloadError("page budget too small for the bucket array")
+        self._bucket_base = base_page
+        self._entry_heap = SpreadHeap(
+            base_page + bucket_pages, page_budget - bucket_pages,
+            expected_entries,
+        )
+        self._buckets: List[Optional[_Entry]] = [None] * num_buckets
+        self._size = 0
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def _bucket_page(self, bucket: int) -> int:
+        return self._bucket_base + bucket // BUCKETS_PER_PAGE
+
+    def _bucket_of(self, key: int) -> int:
+        # Fibonacci hashing: cheap and well-spread for integer keys.
+        return (key * 2654435761) % self.num_buckets
+
+    def insert(self, key: int) -> List[int]:
+        """Insert ``key`` (idempotent); returns touched pages."""
+        bucket = self._bucket_of(key)
+        pages = [self._bucket_page(bucket)]
+        entry = self._buckets[bucket]
+        while entry is not None:
+            pages.append(entry.page)
+            if entry.key == key:
+                return pages
+            entry = entry.next_entry
+        new_entry = _Entry(key, self._entry_heap.allocate(ENTRY_SIZE_BYTES).page)
+        new_entry.next_entry = self._buckets[bucket]
+        self._buckets[bucket] = new_entry
+        self._size += 1
+        pages.append(new_entry.page)
+        return pages
+
+    def lookup(self, key: int) -> Tuple[Optional[int], List[int]]:
+        """(entry page or None, touched page path)."""
+        bucket = self._bucket_of(key)
+        pages = [self._bucket_page(bucket)]
+        entry = self._buckets[bucket]
+        while entry is not None:
+            pages.append(entry.page)
+            if entry.key == key:
+                return entry.page, pages
+            entry = entry.next_entry
+        return None, pages
+
+    def average_chain_length(self) -> float:
+        lengths = []
+        for head in self._buckets:
+            count = 0
+            entry = head
+            while entry is not None:
+                count += 1
+                entry = entry.next_entry
+            lengths.append(count)
+        return sum(lengths) / len(lengths)
+
+
+class HashTableWorkload(Workload):
+    """Zipfian key lookups/updates against the chained hash index."""
+
+    name = "hashtable"
+    rob_occupancy = 48.0
+
+    def __init__(self, dataset_pages: int, seed: int = 42,
+                 num_keys: Optional[int] = None, zipf_s: float = 1.55,
+                 ops_per_job: int = 16, compute_ns: float = 150.0,
+                 write_fraction: float = 0.10) -> None:
+        super().__init__(dataset_pages, seed)
+        if num_keys is None:
+            num_keys = min(1 << 16, max(1024, dataset_pages * 2))
+        self.num_keys = num_keys
+        self.ops_per_job = ops_per_job
+        self.compute_ns = compute_ns
+        self.write_fraction = write_fraction
+
+        num_buckets = max(BUCKETS_PER_PAGE, num_keys // 2)
+        self.index = HashIndex(num_buckets, base_page=0,
+                               page_budget=dataset_pages,
+                               expected_entries=num_keys)
+        for key in range(num_keys):
+            self.index.insert(key)
+        self._zipf = ZipfianGenerator(num_keys, zipf_s, seed=seed + 1,
+                                         permute=False)
+
+    def _steps_for_job(self, job_id: int) -> Iterator[Step]:
+        for _ in range(self.ops_per_job):
+            key = self._zipf.sample()
+            entry_page, path = self.index.lookup(key)
+            if entry_page is None:
+                raise WorkloadError(f"key {key} missing from hash index")
+            is_write = self._rng.random() < self.write_fraction
+            # All path pages are reads; the final entry access may be a
+            # value update (write to the entry's page).
+            for page in path[:-1]:
+                yield Step(self._compute(self.compute_ns), page)
+            yield Step(self._compute(self.compute_ns), path[-1],
+                       is_write=is_write)

@@ -1,0 +1,170 @@
+"""Layered Masstree: the trie-of-B+-trees structure for long keys.
+
+Masstree (Mao et al., EuroSys'12) indexes variable-length byte-string
+keys as a *trie with a fanout of 2^64*: each layer is a B+ tree over
+one 8-byte key slice; keys sharing an 8-byte prefix descend into a
+sub-tree for the next slice.  The flat :class:`~repro.workloads.
+masstree.Masstree` used by the evaluation workloads covers the paper's
+short-integer-key usage; this module provides the full layered
+structure so string-keyed stores are first-class too.
+
+Page accounting composes: a lookup's page path is the concatenation of
+the per-layer B+-tree paths, which is exactly what a hardware page
+trace would show.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import WorkloadError
+from repro.workloads.masstree import Masstree
+from repro.workloads.pagedheap import SpreadHeap
+
+SLICE_BYTES = 8
+
+# Layer key marking "the key ends exactly at the previous slice".
+# Real slices carry a length tag of 1..8, so 0 never collides.
+TERMINAL_SENTINEL = 0
+
+
+def key_slices(key: bytes) -> List[int]:
+    """Split a byte-string key into 8-byte big-endian integer slices.
+
+    The final slice is length-tagged (shifted by its byte count) so
+    prefixes order before their extensions, mirroring Masstree's
+    keylen-in-permuter trick.
+    """
+    if not isinstance(key, (bytes, bytearray)):
+        raise WorkloadError("layered Masstree keys are byte strings")
+    if len(key) == 0:
+        raise WorkloadError("empty key")
+    slices = []
+    for offset in range(0, len(key), SLICE_BYTES):
+        chunk = bytes(key[offset:offset + SLICE_BYTES])
+        value = int.from_bytes(chunk.ljust(SLICE_BYTES, b"\0"), "big")
+        # Tag with the chunk length so "ab" != "ab\0" and prefixes sort
+        # before extensions within the layer.
+        slices.append((value << 4) | len(chunk))
+    return slices
+
+
+class _SubtreePointer:
+    """A layer-N value that points at the layer-N+1 tree."""
+
+    __slots__ = ("tree",)
+
+    def __init__(self, tree: "LayeredMasstree") -> None:
+        self.tree = tree
+
+
+class LayeredMasstree:
+    """A trie of B+ trees over 8-byte key slices."""
+
+    def __init__(self, index_heap: SpreadHeap,
+                 leaf_capacity: int = 16, interior_fanout: int = 8) -> None:
+        self._heap = index_heap
+        self._leaf_capacity = leaf_capacity
+        self._interior_fanout = interior_fanout
+        self._layer = Masstree(index_heap, leaf_capacity, interior_fanout)
+        # slice -> either a value page (int) or a _SubtreePointer; the
+        # Masstree stores an opaque int (an id into this table) so the
+        # flat tree stays unmodified.
+        self._values: List[Union[int, _SubtreePointer]] = []
+        self._size = 0
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def depth(self) -> int:
+        """Number of layers along the deepest path."""
+        deepest = 1
+        for entry in self._values:
+            if isinstance(entry, _SubtreePointer):
+                deepest = max(deepest, 1 + entry.tree.depth())
+        return deepest
+
+    # -- operations --------------------------------------------------------------
+
+    def insert(self, key: bytes, value_page: int) -> List[int]:
+        """Insert/update a byte-string key; returns touched pages."""
+        return self._insert_slices(key_slices(key), value_page)
+
+    def _insert_slices(self, slices: List[int], value_page: int
+                       ) -> List[int]:
+        head, rest = slices[0], slices[1:]
+        existing_id, path = self._layer.get(head)
+        if existing_id is None:
+            if not rest:
+                self._values.append(value_page)
+                self._size += 1
+                return self._layer.insert(head, len(self._values) - 1)
+            subtree = LayeredMasstree(self._heap, self._leaf_capacity,
+                                      self._interior_fanout)
+            self._values.append(_SubtreePointer(subtree))
+            pages = self._layer.insert(head, len(self._values) - 1)
+            pages += subtree._insert_slices(rest, value_page)
+            self._size += 1
+            return pages
+
+        entry = self._values[existing_id]
+        if isinstance(entry, _SubtreePointer):
+            pages = list(path)
+            before = entry.tree.size
+            # A key ending exactly here is stored under the terminal
+            # sentinel in the sub-layer (Masstree's keylen trick).
+            next_slices = rest if rest else [TERMINAL_SENTINEL]
+            pages += entry.tree._insert_slices(next_slices, value_page)
+            self._size += entry.tree.size - before
+            return pages
+        if not rest:
+            # Update in place.
+            self._values[existing_id] = value_page
+            return list(path)
+        # An existing key terminates at this full-8-byte slice while the
+        # new key continues past it: split the entry into a sub-layer
+        # holding both the terminal value and the extension.
+        subtree = LayeredMasstree(self._heap, self._leaf_capacity,
+                                  self._interior_fanout)
+        subtree._insert_slices([TERMINAL_SENTINEL], entry)
+        subtree._insert_slices(rest, value_page)
+        self._values[existing_id] = _SubtreePointer(subtree)
+        self._size += 1
+        return list(path)
+
+    def get(self, key: bytes) -> Tuple[Optional[int], List[int]]:
+        """(value page or None, page path across all layers)."""
+        slices = key_slices(key)
+        tree: LayeredMasstree = self
+        pages: List[int] = []
+        for index, piece in enumerate(slices):
+            value_id, path = tree._layer.get(piece)
+            pages += path
+            if value_id is None:
+                return None, pages
+            entry = tree._values[value_id]
+            if isinstance(entry, _SubtreePointer):
+                if index == len(slices) - 1:
+                    # The key ends exactly here: its value lives under
+                    # the terminal sentinel of the sub-layer.
+                    value_id, path = entry.tree._layer.get(TERMINAL_SENTINEL)
+                    pages += path
+                    if value_id is None:
+                        return None, pages
+                    terminal = entry.tree._values[value_id]
+                    if isinstance(terminal, _SubtreePointer):
+                        return None, pages
+                    return terminal, pages
+                tree = entry.tree
+                continue
+            if index == len(slices) - 1:
+                return entry, pages
+            return None, pages  # key continues but the trie does not
+        return None, pages
+
+    def check_invariants(self) -> None:
+        self._layer.check_invariants()
+        for entry in self._values:
+            if isinstance(entry, _SubtreePointer):
+                entry.tree.check_invariants()

@@ -1,0 +1,341 @@
+"""Red-black tree workload (microbenchmark suite, Sec. V-A).
+
+A complete red-black tree (insert, search, delete, with the classic
+CLRS rebalancing) whose nodes live on pages from a spread heap, so a
+lookup's root-to-leaf pointer chase produces the page trace the paper's
+RBT microbenchmark stresses: little spatial locality, long dependent
+chains.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Job, Step, Workload
+from repro.workloads.pagedheap import SpreadHeap
+from repro.workloads.zipf import ZipfianGenerator
+
+RED = "red"
+BLACK = "black"
+
+
+class _Node:
+    __slots__ = ("key", "page", "color", "left", "right", "parent")
+
+    def __init__(self, key: int, page: int) -> None:
+        self.key = key
+        self.page = page
+        self.color = RED
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+        self.parent: Optional["_Node"] = None
+
+
+class RedBlackTree:
+    """Classic red-black tree with page-path search."""
+
+    def __init__(self, node_heap: SpreadHeap) -> None:
+        self._heap = node_heap
+        self.root: Optional[_Node] = None
+        self._size = 0
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    # -- search -----------------------------------------------------------------
+
+    def search(self, key: int) -> Tuple[Optional[int], List[int]]:
+        """(node page or None, page path root->node)."""
+        pages: List[int] = []
+        node = self.root
+        while node is not None:
+            pages.append(node.page)
+            if key == node.key:
+                return node.page, pages
+            node = node.left if key < node.key else node.right
+        return None, pages
+
+    def _find_node(self, key: int) -> Optional[_Node]:
+        node = self.root
+        while node is not None and node.key != key:
+            node = node.left if key < node.key else node.right
+        return node
+
+    # -- rotations -----------------------------------------------------------------
+
+    def _rotate_left(self, x: _Node) -> None:
+        y = x.right
+        x.right = y.left
+        if y.left is not None:
+            y.left.parent = x
+        y.parent = x.parent
+        if x.parent is None:
+            self.root = y
+        elif x is x.parent.left:
+            x.parent.left = y
+        else:
+            x.parent.right = y
+        y.left = x
+        x.parent = y
+
+    def _rotate_right(self, x: _Node) -> None:
+        y = x.left
+        x.left = y.right
+        if y.right is not None:
+            y.right.parent = x
+        y.parent = x.parent
+        if x.parent is None:
+            self.root = y
+        elif x is x.parent.right:
+            x.parent.right = y
+        else:
+            x.parent.left = y
+        y.right = x
+        x.parent = y
+
+    # -- insert ------------------------------------------------------------------
+
+    def insert(self, key: int) -> bool:
+        """Insert ``key``; False if it already existed."""
+        parent = None
+        node = self.root
+        while node is not None:
+            parent = node
+            if key == node.key:
+                return False
+            node = node.left if key < node.key else node.right
+        fresh = _Node(key, self._heap.allocate().page)
+        fresh.parent = parent
+        if parent is None:
+            self.root = fresh
+        elif key < parent.key:
+            parent.left = fresh
+        else:
+            parent.right = fresh
+        self._size += 1
+        self._insert_fixup(fresh)
+        return True
+
+    def _insert_fixup(self, z: _Node) -> None:
+        while z.parent is not None and z.parent.color == RED:
+            grandparent = z.parent.parent
+            if grandparent is None:
+                break
+            if z.parent is grandparent.left:
+                uncle = grandparent.right
+                if uncle is not None and uncle.color == RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    grandparent.color = RED
+                    z = grandparent
+                else:
+                    if z is z.parent.right:
+                        z = z.parent
+                        self._rotate_left(z)
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    self._rotate_right(z.parent.parent)
+            else:
+                uncle = grandparent.left
+                if uncle is not None and uncle.color == RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    grandparent.color = RED
+                    z = grandparent
+                else:
+                    if z is z.parent.left:
+                        z = z.parent
+                        self._rotate_right(z)
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    self._rotate_left(z.parent.parent)
+        self.root.color = BLACK
+
+    # -- delete ------------------------------------------------------------------
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; False if absent.  CLRS delete with fixup."""
+        z = self._find_node(key)
+        if z is None:
+            return False
+        self._size -= 1
+
+        def transplant(u: _Node, v: Optional[_Node]) -> None:
+            if u.parent is None:
+                self.root = v
+            elif u is u.parent.left:
+                u.parent.left = v
+            else:
+                u.parent.right = v
+            if v is not None:
+                v.parent = u.parent
+
+        y = z
+        y_original_color = y.color
+        fix_node: Optional[_Node] = None
+        fix_parent: Optional[_Node] = None
+        if z.left is None:
+            fix_node = z.right
+            fix_parent = z.parent
+            transplant(z, z.right)
+        elif z.right is None:
+            fix_node = z.left
+            fix_parent = z.parent
+            transplant(z, z.left)
+        else:
+            y = z.right
+            while y.left is not None:
+                y = y.left
+            y_original_color = y.color
+            fix_node = y.right
+            if y.parent is z:
+                fix_parent = y
+            else:
+                fix_parent = y.parent
+                transplant(y, y.right)
+                y.right = z.right
+                y.right.parent = y
+            transplant(z, y)
+            y.left = z.left
+            y.left.parent = y
+            y.color = z.color
+        if y_original_color == BLACK:
+            self._delete_fixup(fix_node, fix_parent)
+        return True
+
+    def _delete_fixup(self, x: Optional[_Node],
+                      parent: Optional[_Node]) -> None:
+        while x is not self.root and (x is None or x.color == BLACK):
+            if parent is None:
+                break
+            if x is parent.left:
+                w = parent.right
+                if w is not None and w.color == RED:
+                    w.color = BLACK
+                    parent.color = RED
+                    self._rotate_left(parent)
+                    w = parent.right
+                if w is None:
+                    x, parent = parent, parent.parent
+                    continue
+                w_left_black = w.left is None or w.left.color == BLACK
+                w_right_black = w.right is None or w.right.color == BLACK
+                if w_left_black and w_right_black:
+                    w.color = RED
+                    x, parent = parent, parent.parent
+                else:
+                    if w_right_black:
+                        if w.left is not None:
+                            w.left.color = BLACK
+                        w.color = RED
+                        self._rotate_right(w)
+                        w = parent.right
+                    w.color = parent.color
+                    parent.color = BLACK
+                    if w.right is not None:
+                        w.right.color = BLACK
+                    self._rotate_left(parent)
+                    x = self.root
+                    parent = None
+            else:
+                w = parent.left
+                if w is not None and w.color == RED:
+                    w.color = BLACK
+                    parent.color = RED
+                    self._rotate_right(parent)
+                    w = parent.left
+                if w is None:
+                    x, parent = parent, parent.parent
+                    continue
+                w_left_black = w.left is None or w.left.color == BLACK
+                w_right_black = w.right is None or w.right.color == BLACK
+                if w_left_black and w_right_black:
+                    w.color = RED
+                    x, parent = parent, parent.parent
+                else:
+                    if w_left_black:
+                        if w.right is not None:
+                            w.right.color = BLACK
+                        w.color = RED
+                        self._rotate_left(w)
+                        w = parent.left
+                    w.color = parent.color
+                    parent.color = BLACK
+                    if w.left is not None:
+                        w.left.color = BLACK
+                    self._rotate_right(parent)
+                    x = self.root
+                    parent = None
+        if x is not None:
+            x.color = BLACK
+
+    # -- validation ------------------------------------------------------------------
+
+    def check_invariants(self) -> int:
+        """Validate BST order, red-red, and black-height; returns the
+        black height.  Raises AssertionError on violation."""
+        if self.root is not None:
+            assert self.root.color == BLACK, "root must be black"
+
+        def walk(node: Optional[_Node], low, high) -> int:
+            if node is None:
+                return 1
+            assert low is None or node.key > low, "BST order violated"
+            assert high is None or node.key < high, "BST order violated"
+            if node.color == RED:
+                for child in (node.left, node.right):
+                    assert child is None or child.color == BLACK, \
+                        "red node with red child"
+            left_height = walk(node.left, low, node.key)
+            right_height = walk(node.right, node.key, high)
+            assert left_height == right_height, "black-height mismatch"
+            return left_height + (1 if node.color == BLACK else 0)
+
+        return walk(self.root, None, None)
+
+    def depth_of(self, key: int) -> int:
+        _, pages = self.search(key)
+        return len(pages)
+
+
+class RbtWorkload(Workload):
+    """Zipfian lookups/updates with pointer chasing (the paper's RBT)."""
+
+    name = "rbtree"
+    rob_occupancy = 40.0  # dependent chains keep the window small
+
+    def __init__(self, dataset_pages: int, seed: int = 42,
+                 num_keys: Optional[int] = None, zipf_s: float = 1.55,
+                 ops_per_job: int = 4, compute_ns: float = 120.0,
+                 write_fraction: float = 0.05) -> None:
+        super().__init__(dataset_pages, seed)
+        if num_keys is None:
+            num_keys = min(1 << 15, max(1024, dataset_pages))
+        self.num_keys = num_keys
+        self.ops_per_job = ops_per_job
+        self.compute_ns = compute_ns
+        self.write_fraction = write_fraction
+
+        self.tree = RedBlackTree(SpreadHeap(0, dataset_pages, num_keys))
+        build_rng = random.Random(seed)
+        keys = list(range(num_keys))
+        build_rng.shuffle(keys)  # randomized insert order balances pages
+        for key in keys:
+            self.tree.insert(key)
+        self._zipf = ZipfianGenerator(num_keys, zipf_s, seed=seed + 1,
+                                         permute=False)
+
+    def _steps_for_job(self, job_id: int) -> Iterator[Step]:
+        for _ in range(self.ops_per_job):
+            key = self._zipf.sample()
+            node_page, path = self.tree.search(key)
+            if node_page is None:
+                raise WorkloadError(f"key {key} missing from tree")
+            is_write = self._rng.random() < self.write_fraction
+            for page in path[:-1]:
+                yield Step(self._compute(self.compute_ns), page)
+            yield Step(self._compute(self.compute_ns), path[-1],
+                       is_write=is_write)

@@ -1,0 +1,141 @@
+"""TATP telecom workload (Sec. V-A).
+
+The Telecom Application Transaction Processing benchmark: short
+transactions against a subscriber database.  The paper highlights
+'update subscriber data'; we implement the standard mix (read-heavy,
+~20 % writes) over four table regions:
+
+* subscribers   — hash index + row pages;
+* access info   — fixed-size array keyed by subscriber;
+* special facility / call forwarding — fixed-size arrays.
+
+Average transactions take ~10 us (Sec. VI-C uses TATP for the
+tail-latency study for exactly that reason).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Job, Step, Workload
+from repro.workloads.hashtable import HashIndex
+from repro.workloads.zipf import ZipfianGenerator
+
+ROWS_PER_PAGE = 16  # 256-byte subscriber rows
+
+
+class TatpWorkload(Workload):
+    """The TATP transaction mix with Zipfian subscriber popularity."""
+
+    name = "tatp"
+    rob_occupancy = 56.0
+
+    # (transaction, weight) — the standard TATP mix.
+    MIX = (
+        ("get_subscriber_data", 0.35),
+        ("get_access_data", 0.35),
+        ("get_new_destination", 0.10),
+        ("update_location", 0.14),
+        ("update_subscriber_data", 0.02),
+        ("insert_call_forwarding", 0.04),
+    )
+
+    def __init__(self, dataset_pages: int, seed: int = 42,
+                 num_subscribers: Optional[int] = None, zipf_s: float = 1.55,
+                 transactions_per_job: int = 8,
+                 compute_ns: float = 150.0) -> None:
+        super().__init__(dataset_pages, seed)
+        if num_subscribers is None:
+            num_subscribers = min(1 << 16, max(1024, dataset_pages * 4))
+        self.num_subscribers = num_subscribers
+        self.transactions_per_job = transactions_per_job
+        self.compute_ns = compute_ns
+
+        # Region layout over the page budget.
+        index_budget = max(8, int(dataset_pages * 0.40))
+        region_budget = max(4, (dataset_pages - index_budget) // 3)
+        self._access_base = index_budget
+        self._facility_base = index_budget + region_budget
+        self._forwarding_base = index_budget + 2 * region_budget
+        self._region_budget = region_budget
+
+        self.index = HashIndex(
+            max(512, num_subscribers // 2), base_page=0,
+            page_budget=index_budget, expected_entries=num_subscribers,
+        )
+        for subscriber in range(num_subscribers):
+            self.index.insert(subscriber)
+        self._zipf = ZipfianGenerator(num_subscribers, zipf_s,
+                                         seed=seed + 1, permute=False)
+
+        weights = [weight for _, weight in self.MIX]
+        if abs(sum(weights) - 1.0) > 1e-9:
+            raise WorkloadError("TATP mix weights must sum to 1")
+
+    # -- table addressing -----------------------------------------------------
+
+    def _array_page(self, base: int, subscriber: int) -> int:
+        slot = (subscriber * self._region_budget * ROWS_PER_PAGE
+                // self.num_subscribers) // ROWS_PER_PAGE
+        return base + min(slot, self._region_budget - 1)
+
+    def _pick_transaction(self) -> str:
+        roll = self._rng.random()
+        cumulative = 0.0
+        for kind, weight in self.MIX:
+            cumulative += weight
+            if roll < cumulative:
+                return kind
+        return self.MIX[-1][0]
+
+    # -- transactions -------------------------------------------------------------
+
+    def _transaction_steps(self, kind: str, subscriber: int) -> Iterator[Step]:
+        row_page, path = self.index.lookup(subscriber)
+        if row_page is None:
+            raise WorkloadError(f"subscriber {subscriber} missing")
+        compute = self.compute_ns
+
+        if kind == "get_subscriber_data":
+            for page in path:
+                yield Step(self._compute(compute), page)
+        elif kind == "get_access_data":
+            for page in path:
+                yield Step(self._compute(compute), page)
+            yield Step(self._compute(compute),
+                       self._array_page(self._access_base, subscriber))
+        elif kind == "get_new_destination":
+            for page in path:
+                yield Step(self._compute(compute), page)
+            yield Step(self._compute(compute),
+                       self._array_page(self._facility_base, subscriber))
+            yield Step(self._compute(compute),
+                       self._array_page(self._forwarding_base, subscriber))
+        elif kind == "update_location":
+            for page in path[:-1]:
+                yield Step(self._compute(compute), page)
+            yield Step(self._compute(compute), path[-1], is_write=True)
+        elif kind == "update_subscriber_data":
+            for page in path[:-1]:
+                yield Step(self._compute(compute), page)
+            yield Step(self._compute(compute), path[-1], is_write=True)
+            yield Step(self._compute(compute),
+                       self._array_page(self._facility_base, subscriber),
+                       is_write=True)
+        elif kind == "insert_call_forwarding":
+            for page in path:
+                yield Step(self._compute(compute), page)
+            yield Step(self._compute(compute),
+                       self._array_page(self._facility_base, subscriber))
+            yield Step(self._compute(compute),
+                       self._array_page(self._forwarding_base, subscriber),
+                       is_write=True)
+        else:  # pragma: no cover - guarded by MIX validation
+            raise WorkloadError(f"unknown TATP transaction {kind!r}")
+
+    def _steps_for_job(self, job_id: int) -> Iterator[Step]:
+        for _ in range(self.transactions_per_job):
+            subscriber = self._zipf.sample()
+            kind = self._pick_transaction()
+            yield from self._transaction_steps(kind, subscriber)

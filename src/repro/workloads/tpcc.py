@@ -1,0 +1,124 @@
+"""TPC-C workload (Sec. V-A).
+
+The paper executes 'neworder' transactions (plus the usual payment
+traffic) against a warehouse database.  Table regions are laid out as
+fixed-size arrays over the page budget — which is how row stores place
+fixed-schema rows — with the stock table dominating capacity, items a
+small hot region, and order lines appended to a circular log region.
+
+TPC-C is the most computationally intensive workload in the suite: its
+compute segments are longer and its ROB runs fuller, so pipeline
+flushes on a miss cost the most (the Sec. VI-A observation that TPCC
+degrades most under AstriFlash).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.workloads.base import Job, Step, Workload
+from repro.workloads.zipf import ZipfianGenerator
+
+ROWS_PER_PAGE = 8  # 512-byte rows
+
+
+class TpccWorkload(Workload):
+    """New-order + payment transactions over array-laid tables."""
+
+    name = "tpcc"
+    rob_occupancy = 112.0  # compute-heavy: big window when flushed
+
+    NEW_ORDER_WEIGHT = 0.5  # remaining traffic is payment
+
+    def __init__(self, dataset_pages: int, seed: int = 42,
+                 num_customers: Optional[int] = None, zipf_s: float = 1.50,
+                 transactions_per_job: int = 1,
+                 compute_ns: float = 400.0,
+                 items_per_order: int = 10) -> None:
+        super().__init__(dataset_pages, seed)
+        if num_customers is None:
+            num_customers = min(1 << 16, max(1024, dataset_pages * 2))
+        self.num_customers = num_customers
+        self.transactions_per_job = transactions_per_job
+        self.compute_ns = compute_ns
+        self.items_per_order = items_per_order
+
+        # Region layout: stock dominates, items small and hot.
+        self._item_budget = max(2, dataset_pages // 64)
+        self._warehouse_budget = max(1, dataset_pages // 256)
+        self._customer_budget = max(4, dataset_pages // 4)
+        self._orderline_budget = max(4, dataset_pages // 64)
+        used = (self._item_budget + self._warehouse_budget
+                + self._customer_budget + self._orderline_budget)
+        self._stock_budget = max(4, dataset_pages - used)
+
+        self._item_base = 0
+        self._warehouse_base = self._item_budget
+        self._customer_base = self._warehouse_base + self._warehouse_budget
+        self._stock_base = self._customer_base + self._customer_budget
+        self._orderline_base = self._stock_base + self._stock_budget
+
+        self.num_items = self._stock_budget * ROWS_PER_PAGE
+        self._customer_zipf = ZipfianGenerator(
+            num_customers, zipf_s, seed=seed + 1, permute=False
+        )
+        self._item_zipf = ZipfianGenerator(
+            self.num_items, zipf_s, seed=seed + 2, permute=False
+        )
+        self._orderline_cursor = 0
+
+    # -- table addressing ----------------------------------------------------
+
+    def _customer_page(self, customer: int) -> int:
+        slot = customer * self._customer_budget // self.num_customers
+        return self._customer_base + min(slot, self._customer_budget - 1)
+
+    def _stock_page(self, item: int) -> int:
+        return self._stock_base + (item // ROWS_PER_PAGE) % self._stock_budget
+
+    def _item_page(self, item: int) -> int:
+        return self._item_base + (item % (self._item_budget * ROWS_PER_PAGE)) \
+            // ROWS_PER_PAGE
+
+    def _warehouse_page(self, customer: int) -> int:
+        return self._warehouse_base + customer % self._warehouse_budget
+
+    def _next_orderline_page(self) -> int:
+        page = self._orderline_base + \
+            (self._orderline_cursor // ROWS_PER_PAGE) % self._orderline_budget
+        self._orderline_cursor += 1
+        return page
+
+    # -- transactions ------------------------------------------------------------
+
+    def _new_order_steps(self, customer: int) -> Iterator[Step]:
+        compute = self.compute_ns
+        yield Step(self._compute(compute), self._warehouse_page(customer))
+        # District row: read-modify-write of next_o_id.
+        yield Step(self._compute(compute), self._warehouse_page(customer),
+                   is_write=True)
+        yield Step(self._compute(compute), self._customer_page(customer))
+        for _ in range(self.items_per_order):
+            item = self._item_zipf.sample()
+            yield Step(self._compute(compute), self._item_page(item))
+            yield Step(self._compute(compute), self._stock_page(item))
+            yield Step(self._compute(compute), self._stock_page(item),
+                       is_write=True)
+            yield Step(self._compute(compute), self._next_orderline_page(),
+                       is_write=True)
+
+    def _payment_steps(self, customer: int) -> Iterator[Step]:
+        compute = self.compute_ns
+        yield Step(self._compute(compute), self._warehouse_page(customer),
+                   is_write=True)
+        yield Step(self._compute(compute), self._customer_page(customer))
+        yield Step(self._compute(compute), self._customer_page(customer),
+                   is_write=True)
+
+    def _steps_for_job(self, job_id: int) -> Iterator[Step]:
+        for _ in range(self.transactions_per_job):
+            customer = self._customer_zipf.sample()
+            if self._rng.random() < self.NEW_ORDER_WEIGHT:
+                yield from self._new_order_steps(customer)
+            else:
+                yield from self._payment_steps(customer)

@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListingCommands:
+    def test_experiments(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out and "table2" in out
+
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "tatp" in out and "masstree" in out
+
+    def test_configs(self, capsys):
+        assert main(["configs"]) == 0
+        out = capsys.readouterr().out
+        assert "astriflash" in out and "flash-sync" in out
+
+
+class TestRunCommands:
+    def test_run_analytic_experiment(self, capsys):
+        assert main(["run", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out
+
+    def test_run_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig42"])
+
+    def test_simulate_closed_loop(self, capsys):
+        assert main([
+            "simulate", "--config", "dram-only", "--workload", "arrayswap",
+            "--dataset-pages", "2048", "--measurement-us", "800",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+
+    def test_simulate_open_loop(self, capsys):
+        assert main([
+            "simulate", "--config", "dram-only", "--workload", "arrayswap",
+            "--dataset-pages", "2048", "--measurement-us", "800",
+            "--interarrival-us", "30",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "jobs/s" in out
+
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestReportCommand:
+    def test_report_writes_file(self, tmp_path, capsys, monkeypatch):
+        # Patch the registry down to cheap analytic artifacts.
+        import repro.cli as cli
+        from repro.harness import EXPERIMENTS
+        cheap = {k: EXPERIMENTS[k] for k in ("table1", "fig2", "fig3")}
+        monkeypatch.setattr(cli, "EXPERIMENTS", cheap)
+        out = str(tmp_path / "report.txt")
+        assert cli.main(["report", "--out", out]) == 0
+        content = open(out).read()
+        assert "Table I" in content and "Fig. 3" in content

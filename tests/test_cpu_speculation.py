@@ -1,0 +1,244 @@
+"""Tests for the ASO-style post-retirement speculation sandbox.
+
+These verify the paper's central microarchitectural claim (Sec. IV-C4):
+a committed store in the Store Buffer can be aborted on a DRAM-cache
+miss, rewinding rename state to just before the store, without leaking
+or corrupting physical registers.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CoreConfig
+from repro.cpu import InstructionKind, SpeculativeCore
+from repro.errors import ProtocolError
+
+ALU = InstructionKind.ALU
+LOAD = InstructionKind.LOAD
+STORE = InstructionKind.STORE
+
+
+def small_core():
+    return SpeculativeCore(CoreConfig(
+        rob_entries=16,
+        store_buffer_entries=4,
+        base_physical_registers=24,
+        registers_per_speculative_store=4,
+        architectural_registers=8,
+    ))
+
+
+def drain(core):
+    """Retire everything and complete all SB stores."""
+    while len(core.rob):
+        head = core.rob.head
+        if not head.completed:
+            core.complete(head.seq)
+        core.retire()
+    while len(core.store_buffer):
+        core.complete_store()
+
+
+class TestBasicPipeline:
+    def test_alu_retire_frees_old_register(self):
+        core = small_core()
+        free_before = core.prf.free_count
+        entry = core.fetch(ALU, dest_arch_reg=0)
+        core.complete(entry.seq)
+        core.retire()
+        assert core.prf.free_count == free_before  # old freed, new live
+        core.check_invariants()
+
+    def test_store_moves_to_sb_on_retire(self):
+        core = small_core()
+        core.fetch(STORE, page=5)
+        core.retire()
+        assert len(core.store_buffer) == 1
+        core.complete_store()
+        assert len(core.store_buffer) == 0
+        core.check_invariants()
+
+    def test_stores_carry_no_dest(self):
+        core = small_core()
+        with pytest.raises(ProtocolError):
+            core.fetch(STORE, dest_arch_reg=1, page=5)
+        with pytest.raises(ProtocolError):
+            core.fetch(STORE)  # no page
+        with pytest.raises(ProtocolError):
+            core.fetch(LOAD, dest_arch_reg=1)  # no page
+
+    def test_quiesced_register_count(self):
+        core = small_core()
+        for _ in range(3):
+            core.fetch(STORE, page=1)
+            entry = core.fetch(ALU, dest_arch_reg=2)
+            core.complete(entry.seq)
+        drain(core)
+        assert core.prf.allocated_count == core.quiesced_register_count()
+        core.check_invariants()
+
+
+class TestDeferredFrees:
+    def test_retire_behind_sb_store_defers_free(self):
+        core = small_core()
+        core.fetch(STORE, page=9)
+        alu = core.fetch(ALU, dest_arch_reg=3)
+        core.complete(alu.seq)
+        core.retire()  # store -> SB
+        free_before = core.prf.free_count
+        core.retire()  # ALU retires behind the SB store
+        # The displaced register must NOT be freed yet.
+        assert core.prf.free_count == free_before
+        core.complete_store()
+        assert core.prf.free_count == free_before + 1
+        core.check_invariants()
+
+
+class TestLoadAbort:
+    def test_abort_load_unwinds_renames(self):
+        core = small_core()
+        mapping_before = core.map_table.snapshot()
+        load = core.fetch(LOAD, dest_arch_reg=1, page=7)
+        younger = core.fetch(ALU, dest_arch_reg=2)
+        resume_pc = core.abort_load(load.seq)
+        assert resume_pc == load.seq
+        assert core.map_table.snapshot() == mapping_before
+        assert len(core.rob) == 0
+        core.check_invariants()
+
+    def test_abort_load_keeps_older_instructions(self):
+        core = small_core()
+        older = core.fetch(ALU, dest_arch_reg=0)
+        load = core.fetch(LOAD, dest_arch_reg=1, page=7)
+        core.abort_load(load.seq)
+        assert [e.seq for e in core.rob.entries()] == [older.seq]
+        core.check_invariants()
+
+
+class TestStoreAbort:
+    def test_abort_committed_store_restores_pre_store_state(self):
+        core = small_core()
+        # Program: ALU r1; STORE; ALU r2; ALU r3  (all retire; store in SB)
+        a1 = core.fetch(ALU, dest_arch_reg=1)
+        store = core.fetch(STORE, page=11)
+        # Rename happens in program order at fetch, so this is the
+        # architectural map the abort must restore.
+        expected_map = core.map_table.snapshot()
+        a2 = core.fetch(ALU, dest_arch_reg=2)
+        a3 = core.fetch(ALU, dest_arch_reg=3)
+        for alu in (a1, a2, a3):
+            core.complete(alu.seq)
+        core.retire()  # a1
+        core.retire()  # store -> SB
+        core.retire()  # a2 (speculative behind store)
+        core.retire()  # a3
+        resume_pc = core.abort_store(store.seq)
+        assert resume_pc == store.seq
+        assert core.map_table.snapshot() == expected_map
+        assert len(core.store_buffer) == 0
+        core.check_invariants()
+        # No register leaks: only architectural state remains.
+        assert core.prf.allocated_count == core.quiesced_register_count()
+
+    def test_abort_store_squashes_unretired_rob_too(self):
+        core = small_core()
+        store = core.fetch(STORE, page=4)
+        core.retire()  # store -> SB
+        core.fetch(ALU, dest_arch_reg=5)  # still in ROB
+        core.abort_store(store.seq)
+        assert len(core.rob) == 0
+        assert core.prf.allocated_count == core.quiesced_register_count()
+        core.check_invariants()
+
+    def test_abort_middle_store_keeps_older_sb_stores(self):
+        core = small_core()
+        s1 = core.fetch(STORE, page=1)
+        a1 = core.fetch(ALU, dest_arch_reg=1)
+        s2 = core.fetch(STORE, page=2)
+        expected_map = core.map_table.snapshot()  # map at s2's rename
+        a2 = core.fetch(ALU, dest_arch_reg=2)
+        core.complete(a1.seq)
+        core.complete(a2.seq)
+        core.retire()  # s1
+        core.retire()  # a1 (window of s1)
+        core.retire()  # s2
+        core.retire()  # a2 (window of s2)
+        core.abort_store(s2.seq)
+        assert [e.seq for e in core.store_buffer.entries()] == [s1.seq]
+        assert core.map_table.snapshot() == expected_map
+        core.check_invariants()
+        # s1 still abortable afterwards.
+        core.abort_store(s1.seq)
+        assert core.prf.allocated_count == core.quiesced_register_count()
+
+    def test_abort_store_then_replay_succeeds(self):
+        core = small_core()
+        store = core.fetch(STORE, page=3)
+        core.retire()
+        core.abort_store(store.seq)
+        # Replay the store (thread rescheduled, forward progress path).
+        replay = core.fetch(STORE, page=3)
+        core.retire()
+        core.complete_store()
+        assert core.prf.allocated_count == core.quiesced_register_count()
+        core.check_invariants()
+
+
+@st.composite
+def instruction_streams(draw):
+    """Random micro-op streams: (kind, dest, page) tuples."""
+    ops = draw(st.lists(
+        st.tuples(
+            st.sampled_from([ALU, LOAD, STORE]),
+            st.integers(min_value=0, max_value=7),
+            st.integers(min_value=0, max_value=15),
+        ),
+        min_size=1, max_size=24,
+    ))
+    return ops
+
+
+class TestPropertyBased:
+    @given(instruction_streams(), st.randoms())
+    @settings(max_examples=80, deadline=None)
+    def test_random_streams_preserve_invariants(self, ops, rng):
+        core = small_core()
+        in_rob = []
+        for kind, dest, page in ops:
+            if core.rob.is_full:
+                break
+            if kind == STORE and core.store_buffer.is_full:
+                kind = ALU
+            try:
+                if kind == STORE:
+                    entry = core.fetch(STORE, page=page)
+                elif kind == LOAD:
+                    entry = core.fetch(LOAD, dest_arch_reg=dest, page=page)
+                else:
+                    entry = core.fetch(ALU, dest_arch_reg=dest)
+            except Exception:
+                break
+            in_rob.append(entry)
+            # Randomly retire the head sometimes.
+            if rng.random() < 0.5 and len(core.rob):
+                head = core.rob.head
+                if head.kind != STORE and not head.completed:
+                    core.complete(head.seq)
+                if not (head.kind == STORE and core.store_buffer.is_full):
+                    core.retire()
+            core.check_invariants()
+
+        # Abort a random committed store if one exists.
+        sb_entries = core.store_buffer.entries()
+        if sb_entries:
+            victim = rng.choice(sb_entries)
+            core.abort_store(victim.seq)
+            core.check_invariants()
+        elif len(core.rob):
+            core.abort_load(core.rob.entries()[0].seq)
+            core.check_invariants()
+
+        drain(core)
+        core.check_invariants()
+        assert core.prf.allocated_count == core.quiesced_register_count()

@@ -1,0 +1,181 @@
+"""Unit tests for PRF, map table, ROB, SB, and MSHRs."""
+
+import pytest
+
+from repro.cpu import (
+    InstructionKind,
+    MapTable,
+    MshrFile,
+    PhysicalRegisterFile,
+    ReorderBuffer,
+    RobEntry,
+    StoreBuffer,
+    StoreBufferEntry,
+)
+from repro.errors import CapacityError, ConfigurationError, ProtocolError
+
+
+class TestPhysicalRegisterFile:
+    def test_allocate_until_exhausted(self):
+        prf = PhysicalRegisterFile(2)
+        prf.allocate()
+        prf.allocate()
+        with pytest.raises(CapacityError):
+            prf.allocate()
+
+    def test_free_recycles(self):
+        prf = PhysicalRegisterFile(1)
+        reg = prf.allocate()
+        prf.free(reg)
+        assert prf.allocate() == reg
+
+    def test_double_free_raises(self):
+        prf = PhysicalRegisterFile(2)
+        reg = prf.allocate()
+        prf.free(reg)
+        with pytest.raises(ProtocolError):
+            prf.free(reg)
+
+    def test_out_of_range_free_raises(self):
+        prf = PhysicalRegisterFile(2)
+        with pytest.raises(ProtocolError):
+            prf.free(5)
+
+
+class TestMapTable:
+    def test_initial_identity_like_mapping(self):
+        prf = PhysicalRegisterFile(8)
+        table = MapTable(4, prf)
+        assert prf.allocated_count == 4
+        mapped = {table.lookup(i) for i in range(4)}
+        assert len(mapped) == 4
+
+    def test_rename_returns_old_mapping(self):
+        prf = PhysicalRegisterFile(8)
+        table = MapTable(2, prf)
+        old_mapping = table.lookup(0)
+        new, old = table.rename(0)
+        assert old == old_mapping
+        assert table.lookup(0) == new
+
+    def test_snapshot_restore(self):
+        prf = PhysicalRegisterFile(8)
+        table = MapTable(2, prf)
+        snapshot = table.snapshot()
+        table.rename(0)
+        table.restore(snapshot)
+        assert table.snapshot() == snapshot
+
+    def test_restore_size_mismatch_raises(self):
+        prf = PhysicalRegisterFile(8)
+        table = MapTable(2, prf)
+        with pytest.raises(ProtocolError):
+            table.restore([0])
+
+    def test_undo_rename(self):
+        prf = PhysicalRegisterFile(8)
+        table = MapTable(2, prf)
+        new, old = table.rename(1)
+        table.undo_rename(1, old)
+        assert table.lookup(1) == old
+
+
+class TestReorderBuffer:
+    def test_program_order_enforced(self):
+        rob = ReorderBuffer(4)
+        rob.allocate(RobEntry(0, InstructionKind.ALU, 1, 10, 11, None))
+        with pytest.raises(ProtocolError):
+            rob.allocate(RobEntry(0, InstructionKind.ALU, 1, 12, 13, None))
+
+    def test_capacity(self):
+        rob = ReorderBuffer(1)
+        rob.allocate(RobEntry(0, InstructionKind.ALU, None, None, None, None))
+        with pytest.raises(CapacityError):
+            rob.allocate(RobEntry(1, InstructionKind.ALU, None, None, None, None))
+
+    def test_retire_requires_completion(self):
+        rob = ReorderBuffer(4)
+        entry = RobEntry(0, InstructionKind.LOAD, 1, 10, 11, 5)
+        rob.allocate(entry)
+        with pytest.raises(ProtocolError):
+            rob.retire_head()
+        entry.completed = True
+        assert rob.retire_head() is entry
+
+    def test_stores_retire_without_completion(self):
+        rob = ReorderBuffer(4)
+        rob.allocate(RobEntry(0, InstructionKind.STORE, None, None, None, 5))
+        assert rob.retire_head().kind == InstructionKind.STORE
+
+    def test_flush_from_returns_youngest_first(self):
+        rob = ReorderBuffer(8)
+        for seq in range(4):
+            rob.allocate(RobEntry(seq, InstructionKind.ALU, None, None, None, None))
+        squashed = rob.flush_from(2)
+        assert [e.seq for e in squashed] == [3, 2]
+        assert [e.seq for e in rob.entries()] == [0, 1]
+
+    def test_flush_nothing_raises(self):
+        rob = ReorderBuffer(4)
+        rob.allocate(RobEntry(0, InstructionKind.ALU, None, None, None, None))
+        with pytest.raises(ProtocolError):
+            rob.flush_from(5)
+
+
+class TestStoreBuffer:
+    def _entry(self, seq):
+        return StoreBufferEntry(seq, page=seq, map_snapshot=[0], speculative_regs=[])
+
+    def test_fifo_completion(self):
+        sb = StoreBuffer(4)
+        sb.push(self._entry(0))
+        sb.push(self._entry(1))
+        assert sb.complete_head().seq == 0
+        assert sb.complete_head().seq == 1
+
+    def test_capacity(self):
+        sb = StoreBuffer(1)
+        sb.push(self._entry(0))
+        assert sb.is_full
+        with pytest.raises(CapacityError):
+            sb.push(self._entry(1))
+
+    def test_abort_from_youngest_first(self):
+        sb = StoreBuffer(4)
+        for seq in range(3):
+            sb.push(self._entry(seq))
+        aborted = sb.abort_from(1)
+        assert [e.seq for e in aborted] == [2, 1]
+        assert [e.seq for e in sb.entries()] == [0]
+
+    def test_program_order_enforced(self):
+        sb = StoreBuffer(4)
+        sb.push(self._entry(5))
+        with pytest.raises(ProtocolError):
+            sb.push(self._entry(3))
+
+
+class TestMshrFile:
+    def test_allocate_and_reclaim_by_page(self):
+        mshrs = MshrFile(4)
+        mshrs.allocate(page=100, rob_seq=7)
+        entry = mshrs.reclaim_by_page(100)
+        assert entry.rob_seq == 7
+        assert len(mshrs) == 0
+
+    def test_capacity(self):
+        mshrs = MshrFile(1)
+        mshrs.allocate(page=1, rob_seq=0)
+        with pytest.raises(CapacityError):
+            mshrs.allocate(page=2, rob_seq=1)
+
+    def test_reclaim_unknown_raises(self):
+        mshrs = MshrFile(2)
+        with pytest.raises(ProtocolError):
+            mshrs.reclaim_by_page(42)
+        with pytest.raises(ProtocolError):
+            mshrs.reclaim(9)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MshrFile(0)

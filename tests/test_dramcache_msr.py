@@ -1,0 +1,99 @@
+"""Unit tests for the in-DRAM Miss Status Row."""
+
+import pytest
+
+from repro.dramcache import MissStatusRow
+from repro.errors import CapacityError, ConfigurationError, ProtocolError
+from repro.sim import Engine, spawn
+
+
+def make_msr(capacity=4):
+    engine = Engine()
+    return engine, MissStatusRow(engine, capacity)
+
+
+def test_allocate_and_lookup():
+    engine, msr = make_msr()
+    entry = msr.allocate(10, is_write=False)
+    assert msr.lookup(10) is entry
+    assert msr.lookup(11) is None
+    assert len(msr) == 1
+
+
+def test_duplicate_allocation_raises():
+    engine, msr = make_msr()
+    msr.allocate(10, is_write=False)
+    with pytest.raises(ProtocolError):
+        msr.allocate(10, is_write=False)
+
+
+def test_capacity_enforced():
+    engine, msr = make_msr(capacity=2)
+    msr.allocate(1, False)
+    msr.allocate(2, False)
+    assert msr.is_full
+    with pytest.raises(CapacityError):
+        msr.allocate(3, False)
+
+
+def test_coalesce_merges_write_intent():
+    engine, msr = make_msr()
+    entry = msr.allocate(5, is_write=False)
+    msr.coalesce(5, is_write=True)
+    assert entry.coalesced == 1
+    assert entry.is_write
+
+
+def test_coalesce_without_entry_raises():
+    engine, msr = make_msr()
+    with pytest.raises(ProtocolError):
+        msr.coalesce(5, is_write=False)
+
+
+def test_release_frees_space_and_wakes_waiter():
+    engine, msr = make_msr(capacity=1)
+    msr.allocate(1, False)
+    woken = []
+
+    def waiter():
+        signal = msr.wait_for_free()
+        assert signal is not None
+        yield signal
+        woken.append(engine.now)
+        msr.allocate(2, False)
+
+    def releaser():
+        yield 100.0
+        msr.release(1)
+
+    spawn(engine, waiter())
+    spawn(engine, releaser())
+    engine.run()
+    assert woken == [100.0]
+    assert msr.lookup(2) is not None
+
+
+def test_release_missing_entry_raises():
+    engine, msr = make_msr()
+    with pytest.raises(ProtocolError):
+        msr.release(99)
+
+
+def test_wait_for_free_returns_none_when_space():
+    engine, msr = make_msr(capacity=2)
+    assert msr.wait_for_free() is None
+
+
+def test_peak_occupancy_tracked():
+    engine, msr = make_msr(capacity=8)
+    for page in range(5):
+        msr.allocate(page, False)
+    for page in range(5):
+        msr.release(page)
+    assert msr.peak_occupancy == 5
+
+
+def test_zero_capacity_rejected():
+    engine = Engine()
+    with pytest.raises(ConfigurationError):
+        MissStatusRow(engine, 0)

@@ -1,0 +1,117 @@
+"""Tests for the layered (trie-of-B+-trees) Masstree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.masstree_layers import (
+    SLICE_BYTES,
+    LayeredMasstree,
+    key_slices,
+)
+from repro.workloads.pagedheap import SpreadHeap
+
+
+def make_tree():
+    return LayeredMasstree(SpreadHeap(0, 4096, 512))
+
+
+class TestKeySlices:
+    def test_short_key_is_one_slice(self):
+        assert len(key_slices(b"abc")) == 1
+
+    def test_long_key_splits(self):
+        assert len(key_slices(b"x" * 20)) == 3
+
+    def test_length_tagging_distinguishes_padded_keys(self):
+        assert key_slices(b"ab") != key_slices(b"ab\0")
+
+    def test_ordering_within_slice(self):
+        assert key_slices(b"aa")[0] < key_slices(b"ab")[0]
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(WorkloadError):
+            key_slices(b"")
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(WorkloadError):
+            key_slices("string")
+
+
+class TestLayeredMasstree:
+    def test_short_keys_single_layer(self):
+        tree = make_tree()
+        tree.insert(b"alpha", 100)
+        tree.insert(b"beta", 200)
+        assert tree.get(b"alpha")[0] == 100
+        assert tree.get(b"beta")[0] == 200
+        assert tree.get(b"gamma")[0] is None
+        assert tree.depth() == 1
+
+    def test_long_keys_descend_layers(self):
+        tree = make_tree()
+        key = b"0123456789abcdef_tail"
+        tree.insert(key, 7)
+        assert tree.get(key)[0] == 7
+        assert tree.depth() >= 2
+
+    def test_shared_prefix_same_sublayer(self):
+        tree = make_tree()
+        tree.insert(b"ABCDEFGHxxx", 1)
+        tree.insert(b"ABCDEFGHyyy", 2)
+        assert tree.get(b"ABCDEFGHxxx")[0] == 1
+        assert tree.get(b"ABCDEFGHyyy")[0] == 2
+        assert tree.size == 2
+
+    def test_prefix_key_and_extension_coexist(self):
+        # "ABCDEFGH" terminates exactly at an 8-byte boundary while a
+        # longer key extends it: the terminal-sentinel path.
+        tree = make_tree()
+        tree.insert(b"ABCDEFGH", 10)
+        tree.insert(b"ABCDEFGH-more", 20)
+        assert tree.get(b"ABCDEFGH")[0] == 10
+        assert tree.get(b"ABCDEFGH-more")[0] == 20
+
+    def test_extension_inserted_before_prefix(self):
+        tree = make_tree()
+        tree.insert(b"ABCDEFGH-more", 20)
+        tree.insert(b"ABCDEFGH", 10)
+        assert tree.get(b"ABCDEFGH")[0] == 10
+        assert tree.get(b"ABCDEFGH-more")[0] == 20
+
+    def test_update_in_place(self):
+        tree = make_tree()
+        tree.insert(b"key", 1)
+        tree.insert(b"key", 2)
+        assert tree.get(b"key")[0] == 2
+        assert tree.size == 1
+
+    def test_page_paths_cover_all_layers(self):
+        tree = make_tree()
+        long_key = b"Z" * 24
+        tree.insert(long_key, 5)
+        value, pages = tree.get(long_key)
+        assert value == 5
+        # At least one index page per layer traversed.
+        assert len(pages) >= 3
+
+    def test_missing_long_key(self):
+        tree = make_tree()
+        tree.insert(b"AAAABBBBCCCC", 1)
+        assert tree.get(b"AAAABBBBXXXX")[0] is None
+        assert tree.get(b"AAAABBBB")[0] is None  # prefix not inserted
+
+    @given(st.lists(st.binary(min_size=1, max_size=24), min_size=1,
+                    max_size=60, unique=True))
+    @settings(max_examples=60, deadline=None)
+    def test_random_byte_keys_roundtrip(self, keys):
+        tree = LayeredMasstree(SpreadHeap(0, 1 << 16, 1024))
+        for index, key in enumerate(keys):
+            tree.insert(key, 1000 + index)
+        tree.check_invariants()
+        for index, key in enumerate(keys):
+            value, pages = tree.get(key)
+            assert value == 1000 + index, key
+            assert pages
+        assert tree.size == len(keys)

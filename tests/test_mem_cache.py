@@ -1,0 +1,83 @@
+"""Unit tests for the on-chip SRAM cache hierarchy."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.mem import CacheHierarchy, SramCache
+
+
+class TestSramCache:
+    def test_miss_then_hit(self):
+        cache = SramCache(4096, associativity=4, name="t")
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.miss_ratio() == pytest.approx(0.5)
+
+    def test_same_block_aliases(self):
+        cache = SramCache(4096, associativity=4)
+        cache.access(0)
+        assert cache.access(63)      # same 64B block
+        assert not cache.access(64)  # next block
+
+    def test_lru_within_set(self):
+        # 2 ways, 1 set.
+        cache = SramCache(128, associativity=2)
+        assert cache.num_sets == 1
+        cache.access(0)
+        cache.access(64)
+        cache.access(0)          # block 0 MRU
+        cache.access(128)        # evicts block 1 (LRU)
+        assert cache.contains(0)
+        assert not cache.contains(64)
+
+    def test_mshr_capacity(self):
+        cache = SramCache(4096, mshr_entries=2)
+        cache.allocate_mshr(0)
+        cache.allocate_mshr(64)
+        with pytest.raises(CapacityError):
+            cache.allocate_mshr(128)
+        cache.reclaim_mshr(0)
+        cache.allocate_mshr(128)
+
+    def test_mshr_reclaim_unknown_raises(self):
+        cache = SramCache(4096)
+        with pytest.raises(CapacityError):
+            cache.reclaim_mshr(0)
+
+    def test_mshr_duplicate_block_refcounts(self):
+        cache = SramCache(4096)
+        cache.allocate_mshr(0)
+        cache.allocate_mshr(32)  # same block
+        assert cache.outstanding_fills == 2
+        cache.reclaim_mshr(0)
+        assert cache.outstanding_fills == 1
+
+    def test_invalid_geometry_raises(self):
+        with pytest.raises(ConfigurationError):
+            SramCache(64, associativity=4)
+        with pytest.raises(ConfigurationError):
+            SramCache(4096, mshr_entries=0)
+
+
+class TestCacheHierarchy:
+    def test_default_three_levels(self):
+        hierarchy = CacheHierarchy()
+        assert len(hierarchy.levels) == 3
+
+    def test_access_depth(self):
+        hierarchy = CacheHierarchy()
+        assert hierarchy.access(0) == 3   # cold: misses everywhere
+        assert hierarchy.access(0) == 0   # now an L1 hit
+
+    def test_miss_signal_reclaims_all_levels(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.track_outstanding(4096)
+        for cache in hierarchy.levels:
+            assert cache.outstanding_fills == 1
+        hierarchy.reclaim_on_miss_signal(4096)
+        for cache in hierarchy.levels:
+            assert cache.outstanding_fills == 0
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheHierarchy([])

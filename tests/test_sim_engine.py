@@ -1,0 +1,117 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine
+
+
+def test_events_fire_in_time_order():
+    engine = Engine()
+    fired = []
+    engine.schedule(10.0, fired.append, "late")
+    engine.schedule(5.0, fired.append, "early")
+    engine.schedule(7.5, fired.append, "middle")
+    engine.run()
+    assert fired == ["early", "middle", "late"]
+
+
+def test_ties_break_by_insertion_order():
+    engine = Engine()
+    fired = []
+    for label in ("a", "b", "c"):
+        engine.schedule(1.0, fired.append, label)
+    engine.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_now_advances_to_event_time():
+    engine = Engine()
+    seen = []
+    engine.schedule(42.0, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [42.0]
+    assert engine.now == 42.0
+
+
+def test_run_until_stops_before_later_events():
+    engine = Engine()
+    fired = []
+    engine.schedule(10.0, fired.append, "in-window")
+    engine.schedule(100.0, fired.append, "after-window")
+    engine.run(until=50.0)
+    assert fired == ["in-window"]
+    assert engine.now == 50.0
+    engine.run()
+    assert fired == ["in-window", "after-window"]
+
+
+def test_run_until_advances_clock_even_without_events():
+    engine = Engine()
+    engine.run(until=123.0)
+    assert engine.now == 123.0
+
+
+def test_cancelled_event_does_not_fire():
+    engine = Engine()
+    fired = []
+    event = engine.schedule(10.0, fired.append, "cancel-me")
+    engine.schedule(5.0, fired.append, "keep-me")
+    engine.cancel(event)
+    engine.run()
+    assert fired == ["keep-me"]
+
+
+def test_double_cancel_raises():
+    engine = Engine()
+    event = engine.schedule(10.0, lambda: None)
+    engine.cancel(event)
+    with pytest.raises(SimulationError):
+        engine.cancel(event)
+
+
+def test_scheduling_into_the_past_raises():
+    engine = Engine()
+    engine.schedule(10.0, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule(-1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        engine.schedule_at(5.0, lambda: None)
+
+
+def test_events_scheduled_during_run_execute():
+    engine = Engine()
+    fired = []
+
+    def chain(depth):
+        fired.append(depth)
+        if depth < 3:
+            engine.schedule(1.0, chain, depth + 1)
+
+    engine.schedule(0.0, chain, 0)
+    engine.run()
+    assert fired == [0, 1, 2, 3]
+    assert engine.now == 3.0
+
+
+def test_pending_events_counts_live_events():
+    engine = Engine()
+    event = engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    assert engine.pending_events == 2
+    engine.cancel(event)
+    assert engine.pending_events == 1
+    engine.run()
+    assert engine.pending_events == 0
+
+
+def test_step_executes_one_event():
+    engine = Engine()
+    fired = []
+    engine.schedule(1.0, fired.append, 1)
+    engine.schedule(2.0, fired.append, 2)
+    assert engine.step()
+    assert fired == [1]
+    assert engine.step()
+    assert not engine.step()

@@ -1,0 +1,118 @@
+"""Property-based tests for the simulation kernel and resources."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Engine, Server, Store, spawn
+
+
+class TestEngineProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=60))
+    @settings(max_examples=80, deadline=None)
+    def test_events_fire_in_nondecreasing_time_order(self, delays):
+        engine = Engine()
+        fired_times = []
+        for delay in delays:
+            engine.schedule(delay, lambda: fired_times.append(engine.now))
+        engine.run()
+        assert fired_times == sorted(fired_times)
+        assert len(fired_times) == len(delays)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=60),
+           st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_cancellation_removes_exactly_the_cancelled(self, delays, data):
+        engine = Engine()
+        fired = []
+        events = [
+            engine.schedule(delay, fired.append, index)
+            for index, delay in enumerate(delays)
+        ]
+        to_cancel = data.draw(st.sets(
+            st.integers(0, len(events) - 1), max_size=len(events)
+        ))
+        for index in to_cancel:
+            engine.cancel(events[index])
+        engine.run()
+        assert sorted(fired) == sorted(
+            set(range(len(events))) - to_cancel
+        )
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e4,
+                              allow_nan=False), min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_process_sleep_sums(self, sleeps):
+        engine = Engine()
+        done = []
+
+        def sleeper():
+            for gap in sleeps:
+                yield gap
+            done.append(engine.now)
+
+        spawn(engine, sleeper())
+        engine.run()
+        assert done[0] == sum(sleeps)
+
+
+class TestServerProperties:
+    @given(st.integers(1, 4), st.lists(
+        st.floats(min_value=1.0, max_value=100.0, allow_nan=False),
+        min_size=1, max_size=20,
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_server_conserves_work(self, capacity, service_times):
+        """Total busy time equals the sum of services; finish time is at
+        least the critical path and at most the serial sum."""
+        engine = Engine()
+        server = Server(engine, capacity)
+        finish = []
+
+        def client(duration):
+            grant = server.acquire()
+            if grant is not None:
+                yield grant
+            yield duration
+            server.release()
+            finish.append(engine.now)
+
+        for duration in service_times:
+            spawn(engine, client(duration))
+        engine.run()
+        makespan = max(finish)
+        serial = sum(service_times)
+        assert makespan <= serial + 1e-6
+        assert makespan >= serial / capacity - 1e-6
+        assert server.busy == 0
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=40),
+           st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_store_is_fifo_and_lossless(self, items, capacity):
+        engine = Engine()
+        store = Store(engine, capacity=capacity)
+        received = []
+
+        def producer():
+            for item in items:
+                signal = store.put(item)
+                if signal is not None:
+                    yield signal
+                yield 1.0
+
+        def consumer():
+            from repro.sim import Ready
+            for _ in items:
+                slot = store.get()
+                if isinstance(slot, Ready):
+                    received.append(slot.item)
+                else:
+                    received.append((yield slot))
+                yield 0.5
+
+        spawn(engine, producer())
+        spawn(engine, consumer())
+        engine.run()
+        assert received == items

@@ -1,0 +1,230 @@
+"""Unit tests for counters, histograms, and trackers."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.stats import (
+    CounterSet,
+    ExactReservoir,
+    LatencyTracker,
+    LogHistogram,
+    ThroughputTracker,
+    percentile,
+)
+from repro.units import SECOND
+
+
+class TestPercentile:
+    def test_single_sample(self):
+        assert percentile([5.0], 0.99) == 5.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        samples = list(range(100))
+        assert percentile(samples, 0.0) == 0
+        assert percentile(samples, 1.0) == 99
+
+    def test_empty_raises(self):
+        with pytest.raises(ReproError):
+            percentile([], 0.5)
+
+    def test_out_of_range_fraction_raises(self):
+        with pytest.raises(ReproError):
+            percentile([1.0], 1.5)
+
+
+class TestExactReservoir:
+    def test_basic_stats(self):
+        res = ExactReservoir()
+        res.extend([3.0, 1.0, 2.0])
+        assert res.count == 3
+        assert res.mean() == pytest.approx(2.0)
+        assert res.min() == 1.0
+        assert res.max() == 3.0
+        assert res.percentile(0.5) == 2.0
+
+    def test_unsorted_input_is_handled(self):
+        res = ExactReservoir()
+        res.extend([5.0, 4.0, 3.0, 2.0, 1.0])
+        assert res.samples() == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_empty_raises(self):
+        res = ExactReservoir()
+        with pytest.raises(ReproError):
+            res.mean()
+
+
+class TestLogHistogram:
+    def test_percentile_within_relative_error(self):
+        hist = LogHistogram(min_value=1.0, precision=64)
+        samples = [float(i) for i in range(1, 10001)]
+        for sample in samples:
+            hist.record(sample)
+        exact = percentile(samples, 0.99)
+        approx = hist.percentile(0.99)
+        assert abs(approx - exact) / exact < 0.03
+
+    def test_mean_is_exact(self):
+        hist = LogHistogram()
+        for value in [10.0, 20.0, 30.0]:
+            hist.record(value)
+        assert hist.mean() == pytest.approx(20.0)
+
+    def test_max_never_exceeded(self):
+        hist = LogHistogram()
+        hist.record(123.0)
+        assert hist.percentile(1.0) <= 123.0
+
+    def test_merge(self):
+        left, right = LogHistogram(), LogHistogram()
+        left.record(10.0)
+        right.record(1000.0)
+        left.merge(right)
+        assert left.count == 2
+        assert left.max() == 1000.0
+
+    def test_merge_mismatched_raises(self):
+        with pytest.raises(ReproError):
+            LogHistogram(precision=32).merge(LogHistogram(precision=64))
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ReproError):
+            LogHistogram(min_value=0.0)
+        with pytest.raises(ReproError):
+            LogHistogram(precision=1)
+
+
+class TestCounterSet:
+    def test_add_and_get(self):
+        counters = CounterSet("test")
+        counters.add("hits")
+        counters.add("hits", 2)
+        assert counters["hits"] == 3
+        assert counters["missing"] == 0
+
+    def test_ratio(self):
+        counters = CounterSet()
+        counters.add("misses", 5)
+        counters.add("accesses", 100)
+        assert counters.ratio("misses", "accesses") == pytest.approx(0.05)
+        assert counters.ratio("misses", "nonexistent") == 0.0
+
+    def test_negative_add_raises(self):
+        with pytest.raises(ReproError):
+            CounterSet().add("x", -1)
+
+    def test_merge(self):
+        left, right = CounterSet(), CounterSet()
+        left.add("a", 1)
+        right.add("a", 2)
+        right.add("b", 3)
+        left.merge(right)
+        assert left["a"] == 3
+        assert left["b"] == 3
+
+
+class TestTrackers:
+    def test_latency_tracker_respects_window(self):
+        tracker = LatencyTracker()
+        tracker.record(100.0)  # warmup sample, dropped
+        tracker.start_measurement()
+        tracker.record(200.0)
+        tracker.stop_measurement()
+        tracker.record(300.0)  # post-window, dropped
+        assert tracker.count == 1
+        assert tracker.p50() == 200.0
+
+    def test_throughput_rate(self):
+        tracker = ThroughputTracker()
+        tracker.start_measurement(0.0)
+        for _ in range(500):
+            tracker.record_completion()
+        tracker.stop_measurement(0.5 * SECOND)
+        assert tracker.rate_per_second() == pytest.approx(1000.0)
+
+    def test_throughput_window_misuse_raises(self):
+        tracker = ThroughputTracker()
+        with pytest.raises(ReproError):
+            tracker.stop_measurement(1.0)
+        with pytest.raises(ReproError):
+            tracker.rate_per_second()
+
+
+class TestSampling:
+    def _make(self, values):
+        from repro.stats import summarize
+        return summarize(values)
+
+    def test_summarize_mean_and_interval(self):
+        from repro.stats import summarize
+        m = summarize([10.0, 12.0, 11.0, 9.0, 13.0])
+        assert m.mean == pytest.approx(11.0)
+        low, high = m.interval
+        assert low < 11.0 < high
+        assert m.count == 5
+        assert "n=5" in m.describe()
+
+    def test_identical_samples_zero_width(self):
+        from repro.stats import summarize
+        m = summarize([5.0, 5.0, 5.0])
+        assert m.half_width == 0.0
+        assert m.relative_error == 0.0
+
+    def test_needs_two_samples(self):
+        from repro.stats import summarize
+        with pytest.raises(ReproError):
+            summarize([1.0])
+
+    def test_t_critical_values(self):
+        from repro.stats import t_critical_95
+        assert t_critical_95(1) == pytest.approx(12.706)
+        assert t_critical_95(10) == pytest.approx(2.228)
+        assert t_critical_95(100) == pytest.approx(1.96)
+        with pytest.raises(ReproError):
+            t_critical_95(0)
+
+    def test_measure_runs_seeds(self):
+        from repro.stats import measure
+        seen = []
+
+        def experiment(seed):
+            seen.append(seed)
+            return float(seed)
+
+        m = measure(experiment, num_samples=4, base_seed=100)
+        assert seen == [100, 101, 102, 103]
+        assert m.mean == pytest.approx(101.5)
+
+    def test_measure_until_stops_early_on_tight_ci(self):
+        from repro.stats import measure_until
+        calls = []
+
+        def experiment(seed):
+            calls.append(seed)
+            return 100.0 + (seed % 2) * 0.001  # nearly constant
+
+        m = measure_until(experiment, target_relative_error=0.01,
+                          min_samples=3, max_samples=15)
+        assert len(calls) == 3
+        assert m.relative_error <= 0.01
+
+    def test_measure_until_respects_budget(self):
+        from repro.stats import measure_until
+        import random as _random
+        rng = _random.Random(0)
+
+        def noisy(seed):
+            return rng.uniform(0, 1000)  # hopeless variance
+
+        m = measure_until(noisy, target_relative_error=0.001,
+                          min_samples=3, max_samples=6)
+        assert m.count == 6
+
+    def test_invalid_parameters(self):
+        from repro.stats import measure, measure_until
+        with pytest.raises(ReproError):
+            measure(lambda seed: 0.0, num_samples=1)
+        with pytest.raises(ReproError):
+            measure_until(lambda seed: 0.0, target_relative_error=1.5)

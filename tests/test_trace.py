@@ -1,0 +1,127 @@
+"""Tests for trace capture, persistence, replay, and statistics."""
+
+import io
+
+import pytest
+
+from repro.config import make_config
+from repro.core import Runner
+from repro.errors import WorkloadError
+from repro.trace import (
+    TraceRecorder,
+    TraceWorkload,
+    load_trace,
+    trace_statistics,
+)
+from repro.units import US
+from repro.workloads import Step, make_workload
+
+
+@pytest.fixture()
+def recorded():
+    workload = make_workload("arrayswap", 1024, seed=5, zipf_s=1.6)
+    recorder = TraceRecorder(workload)
+    recorder.record(500)
+    return recorder
+
+
+class TestTraceRecorder:
+    def test_records_exact_count(self, recorded):
+        assert len(recorded.steps) == 500
+
+    def test_zero_steps_rejected(self):
+        workload = make_workload("arrayswap", 1024, seed=5)
+        with pytest.raises(WorkloadError):
+            TraceRecorder(workload).record(0)
+
+    def test_save_load_roundtrip(self, recorded, tmp_path):
+        path = str(tmp_path / "trace.csv")
+        written = recorded.save(path)
+        assert written == 500
+        steps = load_trace(path)
+        assert len(steps) == 500
+        for original, loaded in zip(recorded.steps, steps):
+            assert loaded.page == original.page
+            assert loaded.is_write == original.is_write
+            assert loaded.compute_ns == pytest.approx(original.compute_ns,
+                                                      abs=0.001)
+
+    def test_save_to_stream(self, recorded):
+        buffer = io.StringIO()
+        recorded.save(buffer)
+        buffer.seek(0)
+        assert len(load_trace(buffer)) == 500
+
+    def test_load_rejects_garbage(self):
+        with pytest.raises(WorkloadError):
+            load_trace(io.StringIO("not a trace\n1,2,3\n"))
+        bad = io.StringIO("# repro-trace-v1: compute_ns,page,is_write\n1,2\n")
+        with pytest.raises(WorkloadError):
+            load_trace(bad)
+
+
+class TestTraceWorkload:
+    def test_replay_preserves_page_sequence(self, recorded):
+        replay = TraceWorkload(recorded.steps, steps_per_job=10)
+        job = replay.make_job()
+        pages = []
+        while True:
+            step = job.next_step()
+            if step is None:
+                break
+            pages.append(step.page)
+        assert pages == [s.page for s in recorded.steps[:10]]
+
+    def test_replay_wraps_around(self):
+        steps = [Step(100.0, page, False) for page in range(5)]
+        replay = TraceWorkload(steps, steps_per_job=3)
+        seen = []
+        for _ in range(4):
+            job = replay.make_job()
+            while True:
+                step = job.next_step()
+                if step is None:
+                    break
+                seen.append(step.page)
+        assert seen == [0, 1, 2, 3, 4, 0, 1, 2, 3, 4, 0, 1]
+
+    def test_dataset_pages_inferred(self):
+        steps = [Step(1.0, 7, False), Step(1.0, 99, True)]
+        replay = TraceWorkload(steps)
+        assert replay.dataset_pages == 100
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceWorkload([])
+
+    def test_replay_drives_the_simulator(self, recorded):
+        replay = TraceWorkload(recorded.steps, steps_per_job=40,
+                               dataset_pages=1024)
+        config = make_config("astriflash")
+        config.num_cores = 1
+        config.scale.dataset_pages = 1024
+        config.scale.warmup_ns = 200.0 * US
+        config.scale.measurement_ns = 1_000.0 * US
+        result = Runner(config, replay).run()
+        assert result.completed_jobs > 0
+
+    def test_from_file(self, recorded, tmp_path):
+        path = str(tmp_path / "trace.csv")
+        recorded.save(path)
+        replay = TraceWorkload.from_file(path, steps_per_job=5)
+        assert replay.make_job().next_step().page == recorded.steps[0].page
+
+
+class TestTraceStatistics:
+    def test_summary(self, recorded):
+        stats = trace_statistics(recorded.steps)
+        assert stats.num_steps == 500
+        assert 0 < stats.distinct_pages <= 1024
+        assert 0.0 <= stats.write_fraction <= 1.0
+        assert stats.mean_compute_ns > 0
+        # Zipfian trace: the hot decile carries disproportionate share.
+        assert stats.top_decile_access_share > 0.15
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            trace_statistics([])
