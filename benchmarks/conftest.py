@@ -4,7 +4,9 @@ Every benchmark regenerates one of the paper's tables/figures (or an
 ablation) at the harness ``quick`` scale and asserts the paper's
 qualitative shape, so ``pytest benchmarks/ --benchmark-only`` doubles
 as the reproduction run.  Set ``REPRO_SCALE=full`` to regenerate the
-EXPERIMENTS.md numbers (minutes instead of seconds).
+EXPERIMENTS.md numbers (minutes instead of seconds), and
+``REPRO_JOBS=N`` to fan independent simulations out over N worker
+processes (see ``repro.harness.parallel``).
 """
 
 import os
@@ -15,6 +17,26 @@ import pytest
 @pytest.fixture(scope="session")
 def harness_scale() -> str:
     return os.environ.get("REPRO_SCALE", "quick")
+
+
+@pytest.fixture(scope="session")
+def harness_jobs() -> int:
+    """Worker-process count the harness fans out with (REPRO_JOBS)."""
+    from repro.harness.parallel import default_jobs
+
+    return default_jobs()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _no_result_cache():
+    """Benchmarks measure regeneration, so the result cache must not
+    short-circuit the timed run.  Honor an explicit opt-in only."""
+    if "REPRO_CACHE" not in os.environ:
+        os.environ["REPRO_CACHE"] = "0"
+        yield
+        del os.environ["REPRO_CACHE"]
+    else:
+        yield
 
 
 def run_once(benchmark, func, *args, **kwargs):

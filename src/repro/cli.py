@@ -38,15 +38,20 @@ def _build_parser() -> argparse.ArgumentParser:
     commands.add_parser("workloads", help="list workloads")
     commands.add_parser("configs", help="list system configurations")
 
+    jobs_help = ("worker processes for independent simulations "
+                 "(default: $REPRO_JOBS or 1 = in-process)")
+
     run_parser = commands.add_parser("run", help="regenerate one artifact")
     run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
     run_parser.add_argument("--scale", default="quick",
                             choices=("quick", "full"))
+    run_parser.add_argument("--jobs", type=int, default=None, help=jobs_help)
 
     all_parser = commands.add_parser("run-all",
                                      help="regenerate every artifact")
     all_parser.add_argument("--scale", default="quick",
                             choices=("quick", "full"))
+    all_parser.add_argument("--jobs", type=int, default=None, help=jobs_help)
 
     report_parser = commands.add_parser(
         "report", help="regenerate everything into a report file "
@@ -54,6 +59,8 @@ def _build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--scale", default="quick",
                                choices=("quick", "full"))
     report_parser.add_argument("--out", default="repro_report.txt")
+    report_parser.add_argument("--jobs", type=int, default=None,
+                               help=jobs_help)
 
     sim_parser = commands.add_parser("simulate", help="one ad-hoc run")
     sim_parser.add_argument("--config", default="astriflash",
@@ -89,25 +96,24 @@ def cmd_configs() -> int:
     return 0
 
 
-def cmd_run(experiment: str, scale: str) -> int:
-    result = run_experiment(experiment, scale=scale)
+def cmd_run(experiment: str, scale: str, jobs: Optional[int]) -> int:
+    result = run_experiment(experiment, scale=scale, jobs=jobs)
     print(result.format_table())
     return 0
 
 
-def cmd_run_all(scale: str) -> int:
+def cmd_run_all(scale: str, jobs: Optional[int]) -> int:
     for name in EXPERIMENTS:
-        print(run_experiment(name, scale=scale).format_table())
+        print(run_experiment(name, scale=scale, jobs=jobs).format_table())
         print()
     return 0
 
 
-def cmd_report(scale: str, out: str) -> int:
-    from repro.harness.report import write_report
+def cmd_report(scale: str, out: str, jobs: Optional[int]) -> int:
+    from repro.harness.report import generate
 
-    results = [run_experiment(name, scale=scale) for name in EXPERIMENTS]
-    write_report(
-        results, out,
+    generate(
+        EXPERIMENTS, scale=scale, jobs=jobs, out=out,
         header=(f"AstriFlash reproduction report (scale={scale}) — "
                 "every paper table/figure regenerated"),
     )
@@ -140,11 +146,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "configs":
         return cmd_configs()
     if args.command == "run":
-        return cmd_run(args.experiment, args.scale)
+        return cmd_run(args.experiment, args.scale, args.jobs)
     if args.command == "run-all":
-        return cmd_run_all(args.scale)
+        return cmd_run_all(args.scale, args.jobs)
     if args.command == "report":
-        return cmd_report(args.scale, args.out)
+        return cmd_report(args.scale, args.out, args.jobs)
     if args.command == "simulate":
         return cmd_simulate(args)
     raise AssertionError("unreachable")  # pragma: no cover

@@ -32,7 +32,7 @@ from typing import Deque, Dict, Optional
 
 from repro.config.system import PagingMode, SystemConfig
 from repro.core.machine import Machine
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.sim import Signal, observe, spawn
 from repro.stats import CounterSet, LatencyTracker, ThroughputTracker
 from repro.ult.queuepair import CompletionQueue
@@ -45,6 +45,12 @@ from repro.workloads.base import Job, Workload
 # size, bounding how far a flash fetch can start ahead of its logical
 # issue point.
 TIME_QUANTUM_NS = 1_000.0
+
+# A synchronous waiter can lose the race between a refill's install and
+# its own wakeup (the page may be evicted in between); the replay then
+# misses again and must wait for a fresh refill.  More than a handful of
+# consecutive losses means the set is thrashing pathologically.
+REPLAY_RACE_LIMIT = 8
 
 
 @dataclass
@@ -116,10 +122,15 @@ class Runner:
                 core_id, capacity=capacity,
                 doorbell=(lambda cid=core_id: self._wake(cid)),
             )
-        # Miss-interval accounting (Sec. II-A calibration).
+        # Miss-interval accounting (Sec. II-A calibration).  The
+        # ``_window_*`` snapshots are taken when the measurement window
+        # opens so reported ratios exclude warmup traffic.
         self._busy_ns = 0.0
         self._accesses = 0
         self._misses = 0
+        self._window_busy_ns = 0.0
+        self._window_accesses = 0
+        self._window_misses = 0
 
     # ------------------------------------------------------------------ run --
 
@@ -143,6 +154,12 @@ class Runner:
             self.service_latency.start_measurement()
             self.response_latency.start_measurement()
             self.throughput.start_measurement(engine.now)
+            # Snapshot the cumulative counters so _build_result can
+            # report measurement-window deltas instead of since-t=0
+            # totals polluted by warmup traffic.
+            self._window_busy_ns = self._busy_ns
+            self._window_accesses = self._accesses
+            self._window_misses = self._misses
 
         engine.schedule(scale.warmup_ns, start_measurement)
         end = scale.warmup_ns + scale.measurement_ns
@@ -157,12 +174,16 @@ class Runner:
                 "no jobs completed in the measurement window; "
                 "increase measurement_ns"
             )
-        miss_ratio = self._misses / max(1, self._accesses)
-        inter_miss = (self._busy_ns / self._misses) if self._misses else None
+        # Measurement-window deltas: warmup accesses/misses/busy time
+        # must not pollute the reported steady-state statistics.
+        accesses = self._accesses - self._window_accesses
+        misses = self._misses - self._window_misses
+        busy_ns = self._busy_ns - self._window_busy_ns
+        miss_ratio = misses / max(1, accesses)
+        inter_miss = (busy_ns / misses) if misses else None
         total_core_time = (self.config.num_cores
-                           * (self.config.scale.warmup_ns
-                              + self.config.scale.measurement_ns))
-        busy_fraction = min(1.0, self._busy_ns / max(total_core_time, 1.0))
+                           * self.config.scale.measurement_ns)
+        busy_fraction = min(1.0, busy_ns / max(total_core_time, 1.0))
         counters = self.stats.as_dict()
         if self.machine.dram_cache is not None:
             counters.update({
@@ -228,6 +249,36 @@ class Runner:
         self.throughput.record_completion()
         self.stats.add("jobs_completed")
 
+    # ------------------------------------------------------- replay helper --
+
+    def _replay_until_hit(self, page: int, is_write: bool):
+        """Replay an access after its refill signal fired, tolerating
+        install/eviction races.
+
+        A synchronous waiter resumes one event after the install; under
+        set pressure the page can already be evicted again, so the
+        replay *misses*.  The old code silently charged the miss-detect
+        latency as if it hit and leaked the fresh completion signal.
+        Instead, wait for each raced refill and replay until the access
+        hits, counting the races; more than ``REPLAY_RACE_LIMIT``
+        consecutive losses is a pathological livelock and aborts the
+        simulation.  Returns the latency to charge for the final hit.
+        """
+        cache = self.machine.dram_cache
+        races = 0
+        while True:
+            replay = cache.access(page, is_write)
+            if replay.hit:
+                return replay.latency_ns
+            races += 1
+            self.stats.add("replay_miss_races")
+            if races > REPLAY_RACE_LIMIT:
+                raise SimulationError(
+                    f"replay of page {page} lost the install/evict race "
+                    f"{races} times; the cache set is livelocked"
+                )
+            yield replay.completion
+
     # -------------------------------------------------------------- core loop --
 
     def _core_loop(self, core_id: int):
@@ -275,8 +326,9 @@ class Runner:
                         self._busy_ns += accumulated
                         accumulated = 0.0
                         yield result.completion
-                        replay = cache.access(step.page, step.is_write)
-                        accumulated += replay.latency_ns
+                        accumulated += yield from self._replay_until_hit(
+                            step.page, step.is_write
+                        )
                         self.stats.add("sync_miss_waits")
                 if accumulated >= TIME_QUANTUM_NS:
                     yield accumulated
@@ -443,9 +495,11 @@ class Runner:
             self.stats.add("forward_progress_syncs")
             wait_start = engine.now
             yield result.completion
+            replay_ns = yield from self._replay_until_hit(
+                step.page, step.is_write
+            )
             self.stats.add("time_sync_wait_ns", engine.now - wait_start)
-            replay = cache.access(step.page, step.is_write)
-            return replay.latency_ns
+            return replay_ns
 
         if library.scheduler.pending_full:
             # Sec. IV-D1: pending queue full — the scheduler waits for
@@ -453,9 +507,11 @@ class Runner:
             self.stats.add("pending_overflow_syncs")
             wait_start = engine.now
             yield result.completion
+            replay_ns = yield from self._replay_until_hit(
+                step.page, step.is_write
+            )
             self.stats.add("time_sync_wait_ns", engine.now - wait_start)
-            replay = cache.access(step.page, step.is_write)
-            return replay.latency_ns
+            return replay_ns
 
         # Park the thread and return to the scheduler.
         library.on_miss(thread, step.page, engine.now)

@@ -21,6 +21,14 @@ from repro.harness.common import (
     resolve_scale,
     run_simulation,
 )
+from repro.harness.parallel import (
+    ParallelRunError,
+    RunSpec,
+    execute_spec,
+    map_tasks,
+    run_spec,
+    run_specs,
+)
 
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig1": fig1.run,
@@ -43,8 +51,9 @@ def run_experiment(name: str, scale="quick", **kwargs) -> ExperimentResult:
     return runner(scale=scale, **kwargs)
 
 
-def run_all(scale="quick") -> List[ExperimentResult]:
-    return [run_experiment(name, scale=scale) for name in EXPERIMENTS]
+def run_all(scale="quick", jobs=None) -> List[ExperimentResult]:
+    return [run_experiment(name, scale=scale, jobs=jobs)
+            for name in EXPERIMENTS]
 
 
 __all__ = [
@@ -52,11 +61,17 @@ __all__ = [
     "ExperimentResult",
     "FULL",
     "HarnessScale",
+    "ParallelRunError",
     "QUICK",
+    "RunSpec",
     "SCALES",
     "build_config",
+    "execute_spec",
+    "map_tasks",
     "resolve_scale",
     "run_all",
     "run_experiment",
     "run_simulation",
+    "run_spec",
+    "run_specs",
 ]

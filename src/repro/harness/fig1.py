@@ -16,13 +16,14 @@ granularity), then averaging miss ratios across workloads.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro.analytic.bandwidth import (
     PAPER_CORE_COUNT,
     flash_bandwidth_total_gbps,
 )
 from repro.harness.common import ExperimentResult, HarnessScale, resolve_scale
+from repro.harness.parallel import map_tasks
 from repro.workloads import make_workload
 
 CAPACITY_FRACTIONS: Sequence[float] = (
@@ -65,7 +66,7 @@ def workload_trace(workload_name: str, scale: HarnessScale,
 
 
 def run(scale="quick", steps_per_workload: int = 60_000,
-        seed: int = 42) -> ExperimentResult:
+        seed: int = 42, jobs: Optional[int] = None) -> ExperimentResult:
     """Regenerate Figure 1's two series."""
     scale = resolve_scale(scale)
     result = ExperimentResult(
@@ -77,10 +78,15 @@ def run(scale="quick", steps_per_workload: int = 60_000,
         notes=("Paper shape: miss rate flattens near 3% capacity; "
                "~60 GB/s of flash bandwidth at the knee."),
     )
-    traces = {
-        name: workload_trace(name, scale, steps_per_workload, seed)
-        for name in scale.workloads
-    }
+    # Per-workload trace generation is independent: fan it out.
+    trace_lists = map_tasks(
+        workload_trace,
+        [{"workload_name": name, "scale": scale,
+          "num_steps": steps_per_workload, "seed": seed}
+         for name in scale.workloads],
+        jobs=jobs,
+    )
+    traces = dict(zip(scale.workloads, trace_lists))
     # Warm half the trace, measure on the second half so the cold-start
     # misses do not pollute the steady-state ratio.
     for fraction in CAPACITY_FRACTIONS:

@@ -6,25 +6,32 @@ average service time) against achieved throughput (normalized to the
 DRAM-only maximum).  Shape: AstriFlash's p99 is higher at low load
 (requests that touch flash), converges as queueing dominates, and
 matches the DRAM-only tail at only a few percent lower load.
+
+The saturation run pins the axis normalizations; after it, every
+(load, config) point is independent and fans out through
+:mod:`repro.harness.parallel`.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
-from repro.harness.common import ExperimentResult, resolve_scale, run_simulation
-from repro.workloads import PoissonArrivals
+from repro.harness.common import ExperimentResult, resolve_scale
+from repro.harness.parallel import RunSpec, poisson, run_spec, run_specs
 
 LOAD_POINTS: Sequence[float] = (0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 0.98)
 
 
 def run(scale="quick", seed: int = 42, workload_name: str = "tatp",
-        load_points: Sequence[float] = LOAD_POINTS) -> ExperimentResult:
+        load_points: Sequence[float] = LOAD_POINTS,
+        jobs: Optional[int] = None) -> ExperimentResult:
     """Regenerate Figure 10's two curves."""
     scale = resolve_scale(scale)
     # DRAM-only saturation throughput defines the x-axis normalization;
     # its mean service time defines the y-axis normalization.
-    saturation = run_simulation("dram-only", workload_name, scale, seed=seed)
+    saturation = run_spec(
+        RunSpec("dram-only", workload_name, scale, seed=seed), jobs=jobs
+    )
     max_rate = saturation.throughput_jobs_per_s
     service_norm = saturation.service_mean_ns
 
@@ -37,16 +44,22 @@ def run(scale="quick", seed: int = 42, workload_name: str = "tatp",
         notes=("Paper: AstriFlash at ~93% load matches the DRAM-only "
                "p99 at ~96% load."),
     )
+    points = [(load, config_name)
+              for load in load_points
+              for config_name in ("dram-only", "astriflash")]
+    specs = [
+        RunSpec(
+            config_name, workload_name, scale, seed=seed,
+            arrivals=poisson(scale.num_cores / (load * max_rate) * 1e9,
+                             seed=seed + 1),
+        )
+        for load, config_name in points
+    ]
+    outcomes = dict(zip(points, run_specs(specs, jobs=jobs)))
     for load in load_points:
-        per_core_interarrival = scale.num_cores / (load * max_rate) * 1e9
         row = [load]
         for config_name in ("dram-only", "astriflash"):
-            outcome = run_simulation(
-                config_name, workload_name, scale,
-                arrivals=PoissonArrivals(per_core_interarrival,
-                                         seed=seed + 1),
-                seed=seed,
-            )
+            outcome = outcomes[(load, config_name)]
             row.append(outcome.throughput_jobs_per_s / max_rate)
             row.append(outcome.response_p99_ns / service_norm)
         result.add_row(*row)

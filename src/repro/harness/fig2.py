@@ -25,9 +25,9 @@ CORE_COUNTS: Sequence[int] = (1, 2, 4, 8, 16, 32, 64)
 
 
 def run(scale="quick", work_us: float = 10.0,
-        os_overhead_us: float = 10.0) -> ExperimentResult:
+        os_overhead_us: float = 10.0, jobs=None) -> ExperimentResult:
     """Regenerate Figure 2: normalized throughput vs core count."""
-    del scale  # analytic: same at every scale
+    del scale, jobs  # analytic: same at every scale, instant serially
     result = ExperimentResult(
         experiment="fig2",
         title="Fig. 2: async paging throughput vs cores (ideal = 1.0)",

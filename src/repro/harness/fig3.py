@@ -20,9 +20,9 @@ LOAD_POINTS: Sequence[float] = (
 )
 
 
-def run(scale="quick", percentile: float = 0.99) -> ExperimentResult:
+def run(scale="quick", percentile: float = 0.99, jobs=None) -> ExperimentResult:
     """Regenerate Figure 3's four curves."""
-    del scale  # analytic
+    del scale, jobs  # analytic: instant serially
     models = paper_figure3_models()
     dram = next(m for m in models if m.name == "dram-only")
     dram_max_rate = dram.max_throughput_per_second

@@ -5,13 +5,17 @@ DRAM-only, AstriFlash, AstriFlash-Ideal, OS-Swap, and Flash-Sync.
 Paper shape: AstriFlash ~95% (Ideal ~96%), OS-Swap ~58%,
 Flash-Sync ~27%; TPCC degrades the most under AstriFlash because its
 compute-heavy ROB makes each flush costlier.
+
+Every (config, workload) cell is an independent run, so the whole grid
+fans out through :mod:`repro.harness.parallel`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
-from repro.harness.common import ExperimentResult, resolve_scale, run_simulation
+from repro.harness.common import ExperimentResult, resolve_scale
+from repro.harness.parallel import RunSpec, run_specs
 
 CONFIGS: Sequence[str] = (
     "dram-only", "astriflash", "astriflash-ideal", "os-swap", "flash-sync",
@@ -19,7 +23,8 @@ CONFIGS: Sequence[str] = (
 
 
 def run(scale="quick", seed: int = 42,
-        configs: Sequence[str] = CONFIGS) -> ExperimentResult:
+        configs: Sequence[str] = CONFIGS,
+        jobs: Optional[int] = None) -> ExperimentResult:
     """Regenerate Figure 9's normalized-throughput bars."""
     scale = resolve_scale(scale)
     if "dram-only" not in configs:
@@ -32,17 +37,22 @@ def run(scale="quick", seed: int = 42,
         notes=("Paper: AstriFlash ~0.95, Ideal ~0.96, OS-Swap ~0.58, "
                "Flash-Sync ~0.27 on average."),
     )
+    cells = [(workload_name, config_name)
+             for workload_name in scale.workloads
+             for config_name in configs]
+    specs = [RunSpec(config_name, workload_name, scale, seed=seed)
+             for workload_name, config_name in cells]
+    outcomes = dict(zip(cells, run_specs(specs, jobs=jobs)))
+
     averages: Dict[str, list] = {name: [] for name in configs
                                  if name != "dram-only"}
     for workload_name in scale.workloads:
-        baseline = run_simulation("dram-only", workload_name, scale,
-                                  seed=seed)
+        baseline = outcomes[(workload_name, "dram-only")]
         row = [workload_name]
         for config_name in configs:
             if config_name == "dram-only":
                 continue
-            outcome = run_simulation(config_name, workload_name, scale,
-                                     seed=seed)
+            outcome = outcomes[(workload_name, config_name)]
             ratio = (outcome.throughput_jobs_per_s
                      / baseline.throughput_jobs_per_s)
             row.append(ratio)

@@ -1,0 +1,428 @@
+"""Process-parallel experiment fan-out with a content-addressed cache.
+
+Every paper artifact is a batch of *independent* ``(config, workload,
+arrivals, overrides)`` simulations, so regenerating figures is
+embarrassingly parallel.  This module provides the fan-out layer the
+figure/table modules build on:
+
+* :class:`RunSpec` — a picklable, hashable description of one run.
+  Executing a spec (:func:`execute_spec`) reproduces *exactly* what the
+  old serial helpers did, so results are bit-identical regardless of
+  the number of worker processes.
+* :func:`run_specs` — execute a batch across a
+  ``ProcessPoolExecutor``, returning results in spec order.  Falls back
+  to in-process execution when ``jobs == 1`` (the default, also set via
+  ``REPRO_JOBS``) or when a process pool cannot be created.  A crashed
+  worker is retried once in-process before a structured
+  :class:`ParallelRunError` is raised.
+* A content-addressed result cache: spec-hash → pickled
+  :class:`~repro.core.runner.SimulationResult` under ``.repro_cache/``
+  (override with ``REPRO_CACHE_DIR``; disable with ``REPRO_CACHE=0``).
+  The cache directory carries a version stamp combining
+  :data:`CACHE_VERSION` with a digest of the ``repro`` package sources,
+  so *any* simulator change invalidates stale results.
+* :func:`map_tasks` — an uncached generic fan-out for harness stages
+  that are not full-system runs (trace generation, device stress sims).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.errors import ReproError
+from repro.harness.common import HarnessScale, build_config, resolve_scale
+from repro.core import Runner
+from repro.workloads import PoissonArrivals, make_workload
+
+# Bump manually on semantic changes that the source digest cannot see
+# (e.g. a pickle-format change in SimulationResult).
+CACHE_VERSION = 1
+
+_STAMP_NAME = "CACHE_VERSION"
+
+
+class ParallelRunError(ReproError):
+    """A run spec failed (after the one crash retry the pool allows).
+
+    Carries the failing spec and the underlying cause so sweep drivers
+    can report *which* point of a batch died.
+    """
+
+    def __init__(self, spec: "RunSpec", cause: BaseException) -> None:
+        super().__init__(f"run spec {spec.label()} failed: {cause!r}")
+        self.spec = spec
+        self.cause = cause
+
+
+# --------------------------------------------------------------- run specs --
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One full-system simulation, described by value.
+
+    ``arrivals`` is ``None`` for a closed loop or the tuple returned by
+    :func:`poisson`; ``workload_overrides`` are extra keyword arguments
+    for :func:`~repro.workloads.make_workload`; ``config_overrides``
+    are ``(dotted_path, value)`` pairs applied to the built
+    :class:`~repro.config.SystemConfig` (e.g.
+    ``("scale.dram_fraction", 0.05)``).
+    """
+
+    config_name: str
+    workload_name: str
+    scale: Union[str, HarnessScale]
+    seed: int = 42
+    arrivals: Optional[Tuple] = None
+    workload_overrides: Tuple[Tuple[str, Any], ...] = ()
+    config_overrides: Tuple[Tuple[str, Any], ...] = ()
+
+    def label(self) -> str:
+        scale = self.scale.name if isinstance(self.scale, HarnessScale) \
+            else self.scale
+        return f"{self.config_name}/{self.workload_name}@{scale}"
+
+
+def poisson(mean_interarrival_ns: float, seed: int = 42) -> Tuple:
+    """Arrival spec for open-loop Poisson arrivals (picklable tuple)."""
+    return ("poisson", float(mean_interarrival_ns), int(seed))
+
+
+def make_spec(config_name: str, workload_name: str, scale,
+              seed: int = 42, arrivals: Optional[Tuple] = None,
+              workload_overrides: Optional[Mapping[str, Any]] = None,
+              config_overrides: Optional[Mapping[str, Any]] = None
+              ) -> RunSpec:
+    """Build a :class:`RunSpec`, normalizing mapping-style overrides."""
+    return RunSpec(
+        config_name=config_name,
+        workload_name=workload_name,
+        scale=scale,
+        seed=seed,
+        arrivals=arrivals,
+        workload_overrides=tuple(sorted((workload_overrides or {}).items())),
+        config_overrides=tuple(sorted((config_overrides or {}).items())),
+    )
+
+
+def _build_arrivals(arrival_spec: Optional[Tuple]):
+    if arrival_spec is None:
+        return None
+    kind = arrival_spec[0]
+    if kind == "poisson":
+        _, mean_ns, seed = arrival_spec
+        return PoissonArrivals(mean_ns, seed=seed)
+    raise ReproError(f"unknown arrival spec {arrival_spec!r}")
+
+
+def _apply_config_override(config, path: str, value) -> None:
+    parts = path.split(".")
+    parent = config
+    for name in parts[:-1]:
+        parent = getattr(parent, name)
+    if not hasattr(parent, parts[-1]):
+        raise ReproError(f"config override {path!r}: no such field")
+    try:
+        setattr(parent, parts[-1], value)
+    except dataclasses.FrozenInstanceError:
+        owner = config
+        for name in parts[:-2]:
+            owner = getattr(owner, name)
+        setattr(owner, parts[-2],
+                dataclasses.replace(parent, **{parts[-1]: value}))
+
+
+def execute_spec(spec: RunSpec):
+    """Run one spec to a ``SimulationResult`` (mirrors the serial path
+    of ``run_simulation`` so results match bit-for-bit)."""
+    scale = resolve_scale(spec.scale)
+    config = build_config(spec.config_name, scale)
+    for path, value in spec.config_overrides:
+        _apply_config_override(config, path, value)
+    kwargs = scale.workload_kwargs()
+    kwargs.update(dict(spec.workload_overrides))
+    workload = make_workload(spec.workload_name, scale.dataset_pages,
+                             seed=spec.seed, **kwargs)
+    arrivals = _build_arrivals(spec.arrivals)
+    return Runner(config, workload, arrivals=arrivals).run()
+
+
+# ------------------------------------------------------------ result cache --
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS``; 1 (serial) when unset."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def cache_enabled() -> bool:
+    return os.environ.get("REPRO_CACHE", "1") != "0"
+
+
+def default_cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+
+
+def _source_digest() -> str:
+    """Digest of every ``repro`` source file: any simulator change
+    invalidates cached results without manual version bumps."""
+    global _SOURCE_DIGEST
+    if _SOURCE_DIGEST is None:
+        import repro
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(path.read_bytes())
+        _SOURCE_DIGEST = digest.hexdigest()[:16]
+    return _SOURCE_DIGEST
+
+
+_SOURCE_DIGEST: Optional[str] = None
+
+
+def _version_stamp() -> str:
+    return f"{CACHE_VERSION}:{_source_digest()}"
+
+
+def _ensure_cache_dir(cache_dir: Path) -> None:
+    """Create the cache dir; wipe stale entries on a stamp mismatch."""
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    stamp_path = cache_dir / _STAMP_NAME
+    stamp = _version_stamp()
+    try:
+        current = stamp_path.read_text()
+    except OSError:
+        current = None
+    if current != stamp:
+        for entry in cache_dir.glob("*.pkl"):
+            try:
+                entry.unlink()
+            except OSError:
+                pass
+        stamp_path.write_text(stamp)
+
+
+def spec_key(spec: RunSpec) -> str:
+    """Content hash naming the cache entry for ``spec``."""
+    scale = resolve_scale(spec.scale)
+    canonical = (
+        _version_stamp(),
+        spec.config_name,
+        spec.workload_name,
+        tuple(sorted(dataclasses.asdict(scale).items(),
+                     key=lambda item: item[0])),
+        spec.seed,
+        spec.arrivals,
+        spec.workload_overrides,
+        spec.config_overrides,
+    )
+    return hashlib.sha256(repr(canonical).encode()).hexdigest()
+
+
+def cache_load(spec: RunSpec, cache_dir: Path):
+    path = cache_dir / f"{spec_key(spec)}.pkl"
+    try:
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+    except OSError:
+        return None
+    except Exception:
+        # Corrupt entry (interrupted writer, version skew): drop it.
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+
+def cache_store(spec: RunSpec, result, cache_dir: Path) -> None:
+    path = cache_dir / f"{spec_key(spec)}.pkl"
+    tmp = path.with_suffix(f".tmp{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            pickle.dump(result, handle)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------- fan-out --
+
+
+def _run_in_pool(func: Callable, items: Sequence,
+                 jobs: int) -> Optional[List]:
+    """Run ``func`` over ``items`` in a process pool.
+
+    Returns a list aligned with ``items`` where each slot is either the
+    result or the exception that run raised.  Returns ``None`` when no
+    pool could be created at all (caller falls back in-process).
+    """
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+        executor = ProcessPoolExecutor(max_workers=jobs)
+    except Exception:
+        return None
+    outcomes: List = [None] * len(items)
+    try:
+        with executor:
+            futures = {
+                executor.submit(func, item): index
+                for index, item in enumerate(items)
+            }
+            for future, index in futures.items():
+                try:
+                    outcomes[index] = future.result()
+                except BaseException as exc:  # includes BrokenProcessPool
+                    outcomes[index] = exc
+    except Exception:
+        # The pool itself failed to start workers; fall back.
+        return None
+    return outcomes
+
+
+def _log(message: str) -> None:
+    if os.environ.get("REPRO_QUIET", "0") != "1":
+        print(f"[repro.parallel] {message}", file=sys.stderr)
+
+
+def run_specs(specs: Sequence[RunSpec], jobs: Optional[int] = None,
+              cache: Optional[bool] = None,
+              cache_dir: Optional[Union[str, Path]] = None,
+              report: Optional[Dict[str, int]] = None) -> List:
+    """Execute a batch of run specs, results in spec order.
+
+    ``jobs`` defaults to ``REPRO_JOBS`` (1 = in-process).  Cached
+    results are reused when ``cache`` is enabled (default, unless
+    ``REPRO_CACHE=0``).  Each spec that crashes its worker is retried
+    once in-process; a second failure raises :class:`ParallelRunError`.
+    ``report``, if given, is filled with batch statistics
+    (``cache_hits`` / ``executed`` / ``retried`` / ``jobs``).
+    """
+    specs = list(specs)
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    use_cache = cache_enabled() if cache is None else cache
+    directory = Path(cache_dir) if cache_dir is not None \
+        else default_cache_dir()
+
+    results: List = [None] * len(specs)
+    pending: List[int] = []
+    hits = 0
+    if use_cache:
+        _ensure_cache_dir(directory)
+        for index, spec in enumerate(specs):
+            cached = cache_load(spec, directory)
+            if cached is not None:
+                results[index] = cached
+                hits += 1
+            else:
+                pending.append(index)
+    else:
+        pending = list(range(len(specs)))
+
+    retried = 0
+    if pending:
+        outcomes: Optional[List] = None
+        if jobs > 1 and len(pending) > 1:
+            outcomes = _run_in_pool(
+                execute_spec, [specs[i] for i in pending],
+                min(jobs, len(pending)),
+            )
+        if outcomes is None:
+            # In-process path: jobs == 1, a single spec, or no usable
+            # process pool on this platform.
+            outcomes = []
+            for index in pending:
+                try:
+                    outcomes.append(execute_spec(specs[index]))
+                except Exception as exc:
+                    outcomes.append(exc)
+        for slot, index in enumerate(pending):
+            outcome = outcomes[slot]
+            if isinstance(outcome, BaseException):
+                # One retry, in-process: a crashed worker poisons every
+                # future on its pool, so the retry both re-runs genuine
+                # failures and rescues innocent casualties.
+                retried += 1
+                try:
+                    outcome = execute_spec(specs[index])
+                except Exception as exc:
+                    raise ParallelRunError(specs[index], exc) from exc
+            results[index] = outcome
+            if use_cache:
+                cache_store(specs[index], results[index], directory)
+
+    if report is not None:
+        report.update(cache_hits=hits, executed=len(pending),
+                      retried=retried, jobs=jobs)
+    if hits or jobs > 1:
+        _log(f"{len(specs)} runs: {hits} cache hits, "
+             f"{len(pending)} executed (jobs={jobs})")
+    return results
+
+
+def run_spec(spec: RunSpec, **kwargs):
+    """Convenience wrapper: one spec, one result."""
+    return run_specs([spec], **kwargs)[0]
+
+
+def map_tasks(func: Callable, kwargs_list: Sequence[Mapping[str, Any]],
+              jobs: Optional[int] = None) -> List:
+    """Generic uncached fan-out: ``[func(**kw) for kw in kwargs_list]``
+    across worker processes, in order, with the same in-process
+    fallback and single-retry policy as :func:`run_specs`.
+
+    ``func`` must be a module-level (picklable) callable.
+    """
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    items = [(func, dict(kwargs)) for kwargs in kwargs_list]
+    outcomes: Optional[List] = None
+    if jobs > 1 and len(items) > 1:
+        outcomes = _run_in_pool(_call_task, items, min(jobs, len(items)))
+    if outcomes is None:
+        outcomes = []
+        for item in items:
+            try:
+                outcomes.append(_call_task(item))
+            except Exception as exc:
+                outcomes.append(exc)
+    results: List = []
+    for index, outcome in enumerate(outcomes):
+        if isinstance(outcome, BaseException):
+            try:
+                outcome = _call_task(items[index])
+            except Exception as exc:
+                raise ReproError(
+                    f"task {func.__name__}(**{items[index][1]!r}) failed: "
+                    f"{exc!r}"
+                ) from exc
+        results.append(outcome)
+    return results
+
+
+def _call_task(item: Tuple[Callable, Dict[str, Any]]):
+    func, kwargs = item
+    return func(**kwargs)

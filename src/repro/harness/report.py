@@ -10,7 +10,7 @@ numbers.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
 from repro.harness.common import ExperimentResult
@@ -130,3 +130,22 @@ def write_report(results: List[ExperimentResult], path: str,
             handle.write(header.rstrip() + "\n\n")
         for result in results:
             handle.write(render(result) + "\n\n")
+
+
+def generate(experiments: Mapping[str, Callable[..., ExperimentResult]],
+             scale="quick", jobs: Optional[int] = None,
+             out: Optional[str] = None,
+             header: str = "") -> List[ExperimentResult]:
+    """Regenerate ``experiments`` (id -> run callable) and optionally
+    bundle them into a report file.
+
+    ``jobs`` is forwarded to each experiment so its independent runs
+    fan out through :mod:`repro.harness.parallel`; repeated invocations
+    reuse the result cache, so regenerating a report after regenerating
+    a figure costs only the runs not already cached.
+    """
+    results = [runner(scale=scale, jobs=jobs)
+               for runner in experiments.values()]
+    if out is not None:
+        write_report(results, out, header=header)
+    return results

@@ -10,20 +10,17 @@ Two sweeps the paper's design discussion motivates but does not plot:
   the multiprogramming level must cover the flash stall
   (Sec. III-A's M/M/k argument predicts a knee around
   service/compute ≈ 6-8 threads; beyond that returns diminish).
+
+Every sweep point is one :class:`~repro.harness.parallel.RunSpec` with
+a config override, so the sweeps fan out across worker processes.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Sequence
+from typing import Optional, Sequence
 
-from repro.harness.common import (
-    ExperimentResult,
-    build_config,
-    resolve_scale,
-)
-from repro.core import Runner
-from repro.workloads import make_workload
+from repro.harness.common import ExperimentResult, resolve_scale
+from repro.harness.parallel import RunSpec, run_specs
 
 DRAM_FRACTIONS: Sequence[float] = (0.01, 0.02, 0.03, 0.05, 0.10)
 THREAD_COUNTS: Sequence[int] = (1, 2, 4, 8, 16, 48)
@@ -31,8 +28,8 @@ THREAD_COUNTS: Sequence[int] = (1, 2, 4, 8, 16, 48)
 
 def dram_fraction_sweep(scale="quick", workload_name: str = "tatp",
                         seed: int = 42,
-                        fractions: Sequence[float] = DRAM_FRACTIONS
-                        ) -> ExperimentResult:
+                        fractions: Sequence[float] = DRAM_FRACTIONS,
+                        jobs: Optional[int] = None) -> ExperimentResult:
     """AstriFlash throughput vs DRAM-cache capacity fraction."""
     scale = resolve_scale(scale)
     result = ExperimentResult(
@@ -42,16 +39,15 @@ def dram_fraction_sweep(scale="quick", workload_name: str = "tatp",
         columns=["dram_fraction", "throughput_vs_dram_only", "miss_ratio"],
         notes="The paper's 3% design point sits at the knee.",
     )
-    baseline_config = build_config("dram-only", scale)
-    workload = make_workload(workload_name, scale.dataset_pages, seed=seed,
-                             **scale.workload_kwargs())
-    baseline = Runner(baseline_config, workload).run()
-    for fraction in fractions:
-        config = build_config("astriflash", scale)
-        config.scale.dram_fraction = fraction
-        workload = make_workload(workload_name, scale.dataset_pages,
-                                 seed=seed, **scale.workload_kwargs())
-        outcome = Runner(config, workload).run()
+    specs = [RunSpec("dram-only", workload_name, scale, seed=seed)]
+    specs.extend(
+        RunSpec("astriflash", workload_name, scale, seed=seed,
+                config_overrides=(("scale.dram_fraction", fraction),))
+        for fraction in fractions
+    )
+    outcomes = run_specs(specs, jobs=jobs)
+    baseline, sweep = outcomes[0], outcomes[1:]
+    for fraction, outcome in zip(fractions, sweep):
         result.add_row(
             fraction,
             outcome.throughput_jobs_per_s / baseline.throughput_jobs_per_s,
@@ -62,8 +58,8 @@ def dram_fraction_sweep(scale="quick", workload_name: str = "tatp",
 
 def thread_count_sweep(scale="quick", workload_name: str = "tatp",
                        seed: int = 42,
-                       thread_counts: Sequence[int] = THREAD_COUNTS
-                       ) -> ExperimentResult:
+                       thread_counts: Sequence[int] = THREAD_COUNTS,
+                       jobs: Optional[int] = None) -> ExperimentResult:
     """AstriFlash throughput vs user-level threads per core."""
     scale = resolve_scale(scale)
     result = ExperimentResult(
@@ -75,15 +71,16 @@ def thread_count_sweep(scale="quick", workload_name: str = "tatp",
         notes=("One thread degenerates to Flash-Sync; the knee sits "
                "where the pool covers the flash stall (M/M/k)."),
     )
-    for threads in thread_counts:
-        config = build_config("astriflash", scale)
-        config.ult = dataclasses.replace(
-            config.ult, threads_per_core=threads,
-            pending_queue_limit=max(1, threads),
-        )
-        workload = make_workload(workload_name, scale.dataset_pages,
-                                 seed=seed, **scale.workload_kwargs())
-        outcome = Runner(config, workload).run()
+    specs = [
+        RunSpec("astriflash", workload_name, scale, seed=seed,
+                config_overrides=(
+                    ("ult.pending_queue_limit", max(1, threads)),
+                    ("ult.threads_per_core", threads),
+                ))
+        for threads in thread_counts
+    ]
+    outcomes = run_specs(specs, jobs=jobs)
+    for threads, outcome in zip(thread_counts, outcomes):
         result.add_row(threads, outcome.throughput_jobs_per_s,
                        outcome.core_busy_fraction)
     return result

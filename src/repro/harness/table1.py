@@ -14,8 +14,8 @@ from repro.harness.common import ExperimentResult
 from repro.units import GIB, MIB, US
 
 
-def run(scale="quick") -> ExperimentResult:
-    del scale  # static configuration
+def run(scale="quick", jobs=None) -> ExperimentResult:
+    del scale, jobs  # static configuration
     config = make_config("astriflash")
     result = ExperimentResult(
         experiment="table1",

@@ -9,15 +9,16 @@ completion, miss waits included) of AstriFlash against the ablations:
 * AstriFlash-noDP  ~1.7x — cold page-table walks are served from flash.
 
 Runs use open-loop arrivals at a moderate load so the comparison
-captures scheduling policy rather than saturation queueing.
+captures scheduling policy rather than saturation queueing.  The four
+ablation runs fan out through :mod:`repro.harness.parallel`.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
-from repro.harness.common import ExperimentResult, resolve_scale, run_simulation
-from repro.workloads import PoissonArrivals
+from repro.harness.common import ExperimentResult, resolve_scale
+from repro.harness.parallel import RunSpec, poisson, run_spec, run_specs
 
 CONFIGS: Sequence[str] = (
     "flash-sync", "astriflash", "astriflash-nops", "astriflash-nodp",
@@ -25,21 +26,22 @@ CONFIGS: Sequence[str] = (
 
 
 def run(scale="quick", seed: int = 42, workload_name: str = "tatp",
-        load: float = 0.4) -> ExperimentResult:
+        load: float = 0.4, jobs: Optional[int] = None) -> ExperimentResult:
     """Regenerate Table II's normalized p99 service latencies."""
     scale = resolve_scale(scale)
-    saturation = run_simulation("dram-only", workload_name, scale, seed=seed)
+    saturation = run_spec(
+        RunSpec("dram-only", workload_name, scale, seed=seed), jobs=jobs
+    )
     per_core_interarrival = (
         scale.num_cores / (load * saturation.throughput_jobs_per_s) * 1e9
     )
 
-    outcomes = {}
-    for config_name in CONFIGS:
-        outcomes[config_name] = run_simulation(
-            config_name, workload_name, scale,
-            arrivals=PoissonArrivals(per_core_interarrival, seed=seed + 1),
-            seed=seed,
-        )
+    specs = [
+        RunSpec(config_name, workload_name, scale, seed=seed,
+                arrivals=poisson(per_core_interarrival, seed=seed + 1))
+        for config_name in CONFIGS
+    ]
+    outcomes = dict(zip(CONFIGS, run_specs(specs, jobs=jobs)))
     baseline = outcomes["flash-sync"].service_p99_ns
 
     result = ExperimentResult(

@@ -26,10 +26,11 @@ class Event:
     Events are created through :meth:`Engine.schedule` /
     :meth:`Engine.schedule_at` and can be cancelled with
     :meth:`Engine.cancel`.  A cancelled event stays in the heap but is
-    skipped when popped.
+    skipped when popped.  An event that has already executed is marked
+    ``fired``; cancelling it afterwards is a protocol error.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired")
 
     def __init__(self, time: float, seq: int, callback: Callback, args: tuple):
         self.time = time
@@ -37,6 +38,7 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.fired = False
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -44,7 +46,7 @@ class Event:
         return self.seq < other.seq
 
     def __repr__(self) -> str:
-        state = " cancelled" if self.cancelled else ""
+        state = " cancelled" if self.cancelled else (" fired" if self.fired else "")
         name = getattr(self.callback, "__qualname__", repr(self.callback))
         return f"<Event t={self.time:.1f} #{self.seq} {name}{state}>"
 
@@ -96,7 +98,17 @@ class Engine:
         return event
 
     def cancel(self, event: Event) -> None:
-        """Cancel a pending event.  Cancelling twice is an error."""
+        """Cancel a pending event.
+
+        Cancelling twice is an error, and so is cancelling an event
+        that already executed: the event was popped from the heap and
+        its live-count slot reclaimed, so decrementing again would
+        corrupt :attr:`pending_events`.
+        """
+        if event.fired:
+            raise SimulationError(
+                f"cannot cancel an event that already fired: {event!r}"
+            )
         if event.cancelled:
             raise SimulationError(f"event already cancelled: {event!r}")
         event.cancelled = True
@@ -111,6 +123,7 @@ class Engine:
             if event.cancelled:
                 continue
             self._live_events -= 1
+            event.fired = True
             self._now = event.time
             event.callback(*event.args)
             return True
@@ -134,6 +147,7 @@ class Engine:
                 if event.cancelled:
                     continue
                 self._live_events -= 1
+                event.fired = True
                 self._now = event.time
                 event.callback(*event.args)
             if until is not None and self._now < until:

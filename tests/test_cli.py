@@ -32,6 +32,11 @@ class TestRunCommands:
         with pytest.raises(SystemExit):
             main(["run", "fig42"])
 
+    def test_run_accepts_jobs_flag(self, capsys):
+        assert main(["run", "fig2", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out
+
     def test_simulate_closed_loop(self, capsys):
         assert main([
             "simulate", "--config", "dram-only", "--workload", "arrayswap",

@@ -7,6 +7,8 @@ import pytest
 
 from repro.config import make_config
 from repro.core import Runner
+from repro.core.runner import REPLAY_RACE_LIMIT
+from repro.errors import SimulationError
 from repro.units import US
 from repro.workloads import PoissonArrivals, Step, Workload, make_workload
 
@@ -130,6 +132,90 @@ class TestOsSwapDetails:
         runner = Runner(config, workload)
         runner.run()
         assert runner.machine.pager.stats["shootdowns"] > 0
+
+
+class _FakeAccess:
+    def __init__(self, hit, latency_ns=10.0, completion=None):
+        self.hit = hit
+        self.latency_ns = latency_ns
+        self.completion = completion
+
+
+class _FakeCache:
+    """Scripted dram_cache stand-in for replay-race unit tests."""
+
+    def __init__(self, outcomes):
+        self.outcomes = list(outcomes)
+        self.accesses = 0
+
+    def access(self, page, is_write):
+        self.accesses += 1
+        return self.outcomes.pop(0)
+
+
+class TestReplayRace:
+    """A synchronous waiter can find its page evicted again between the
+    install signal and its wakeup; the replay must loop, not mispresent
+    the miss as a hit (and leak the fresh completion signal)."""
+
+    def make_runner(self, fake_cache):
+        config = small_config("flash-sync")
+        runner = Runner(config, OnePageWorkload())
+        runner.machine.dram_cache = fake_cache
+        return runner
+
+    def test_immediate_hit_charges_hit_latency(self):
+        runner = self.make_runner(_FakeCache([_FakeAccess(True, 42.0)]))
+        gen = runner._replay_until_hit(3, False)
+        with pytest.raises(StopIteration) as stop:
+            next(gen)
+        assert stop.value.value == 42.0
+        assert runner.stats["replay_miss_races"] == 0
+
+    def test_raced_replay_waits_for_fresh_refill(self):
+        completion = object()  # the generator yields it untouched
+        cache = _FakeCache([
+            _FakeAccess(False, 5.0, completion),
+            _FakeAccess(True, 42.0),
+        ])
+        runner = self.make_runner(cache)
+        gen = runner._replay_until_hit(3, False)
+        assert next(gen) is completion  # waits on the raced refill
+        with pytest.raises(StopIteration) as stop:
+            gen.send(None)
+        assert stop.value.value == 42.0
+        assert runner.stats["replay_miss_races"] == 1
+        assert cache.accesses == 2
+
+    def test_livelock_bounded(self):
+        misses = [_FakeAccess(False, 5.0, object())
+                  for _ in range(REPLAY_RACE_LIMIT + 2)]
+        runner = self.make_runner(_FakeCache(misses))
+        gen = runner._replay_until_hit(3, False)
+        with pytest.raises(SimulationError):
+            next(gen)  # first raced replay
+            while True:
+                gen.send(None)  # keep losing the race
+        assert runner.stats["replay_miss_races"] == REPLAY_RACE_LIMIT + 1
+
+
+class TestMeasurementWindowIsolation:
+    def test_warmup_misses_do_not_pollute_miss_ratio(self):
+        # One page, cold cache: the only miss happens during warmup, so
+        # the measurement-window miss ratio must be exactly zero.
+        config = small_config("flash-sync")
+        workload = OnePageWorkload()
+        runner = Runner(config, workload, warm=False)
+        result = runner.run()
+        assert runner._misses > 0  # the cold miss did happen ...
+        assert result.miss_ratio == 0.0  # ... before the window opened
+
+    def test_busy_fraction_uses_measurement_window_only(self):
+        # A closed loop saturates the core: busy fraction of the
+        # measurement window must be ~1, not diluted by warmup.
+        config = small_config("dram-only")
+        result = Runner(config, OnePageWorkload()).run()
+        assert 0.9 < result.core_busy_fraction <= 1.0
 
 
 class TestMeasurementAccounting:

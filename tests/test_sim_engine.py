@@ -70,6 +70,38 @@ def test_double_cancel_raises():
         engine.cancel(event)
 
 
+def test_cancel_after_fire_raises():
+    engine = Engine()
+    event = engine.schedule(10.0, lambda: None)
+    engine.run()
+    assert event.fired
+    with pytest.raises(SimulationError):
+        engine.cancel(event)
+
+
+def test_cancel_after_fire_does_not_corrupt_pending_count():
+    # The old accounting decremented _live_events for an event that had
+    # already been popped and executed, driving pending_events negative.
+    engine = Engine()
+    event = engine.schedule(1.0, lambda: None)
+    engine.run()
+    assert engine.pending_events == 0
+    with pytest.raises(SimulationError):
+        engine.cancel(event)
+    assert engine.pending_events == 0
+    engine.schedule(1.0, lambda: None)
+    assert engine.pending_events == 1
+
+
+def test_cancel_after_step_raises():
+    engine = Engine()
+    fired = []
+    event = engine.schedule(1.0, fired.append, 1)
+    assert engine.step()
+    with pytest.raises(SimulationError):
+        engine.cancel(event)
+
+
 def test_scheduling_into_the_past_raises():
     engine = Engine()
     engine.schedule(10.0, lambda: None)
