@@ -62,6 +62,19 @@ def _build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--jobs", type=int, default=None,
                                help=jobs_help)
 
+    profile_parser = commands.add_parser(
+        "profile", help="regenerate one artifact under cProfile and "
+                        "report hotspots + kernel events/sec")
+    profile_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    profile_parser.add_argument("--scale", default="quick",
+                                choices=("quick", "full"))
+    profile_parser.add_argument("--top", type=int, default=15,
+                                help="hotspot rows to report (default 15)")
+    profile_parser.add_argument("--json", dest="json_out", default=None,
+                                metavar="PATH",
+                                help="also write the report as JSON "
+                                     "(e.g. BENCH_kernel.json for CI)")
+
     sim_parser = commands.add_parser("simulate", help="one ad-hoc run")
     sim_parser.add_argument("--config", default="astriflash",
                             choices=EVALUATED_CONFIG_NAMES)
@@ -121,6 +134,18 @@ def cmd_report(scale: str, out: str, jobs: Optional[int]) -> int:
     return 0
 
 
+def cmd_profile(experiment: str, scale: str, top: int,
+                json_out: Optional[str]) -> int:
+    from repro.perf import profile_experiment
+
+    report = profile_experiment(experiment, scale=scale, top=top)
+    print(report.format_text())
+    if json_out is not None:
+        report.write_json(json_out)
+        print(f"wrote {json_out}")
+    return 0
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     config = make_config(args.config)
     config.num_cores = args.cores
@@ -151,6 +176,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_run_all(args.scale, args.jobs)
     if args.command == "report":
         return cmd_report(args.scale, args.out, args.jobs)
+    if args.command == "profile":
+        return cmd_profile(args.experiment, args.scale, args.top,
+                           args.json_out)
     if args.command == "simulate":
         return cmd_simulate(args)
     raise AssertionError("unreachable")  # pragma: no cover

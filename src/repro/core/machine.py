@@ -136,19 +136,18 @@ class Machine:
                   else None)
         if target is None:
             return
+        # Hot loop (tens of thousands of steps per run): hoist the
+        # tier dispatch out of the loop and bind the per-step calls
+        # once; jobs always run to completion, as before.
         steps_done = 0
-        while steps_done < num_steps:
-            job = workload.make_job()
-            while True:
-                step = job.next_step()
-                if step is None:
-                    break
-                if self.dram_cache is not None:
-                    self.dram_cache.organization.populate(step.page)
-                    if step.is_write:
-                        self.dram_cache.organization.lookup(
-                            step.page, is_write=True
-                        )
-                else:
-                    self.pager.resident.insert(step.page, dirty=step.is_write)
-                steps_done += 1
+        if self.dram_cache is not None:
+            warm_job = self.dram_cache.organization.warm_job
+            while steps_done < num_steps:
+                steps_done += warm_job(workload.make_job().steps)
+        else:
+            insert = self.pager.resident.insert
+            while steps_done < num_steps:
+                job = workload.make_job()
+                for step in job.steps:
+                    insert(step.page, dirty=step.is_write)
+                    steps_done += 1

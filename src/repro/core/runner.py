@@ -26,6 +26,7 @@ Mode summary:
 from __future__ import annotations
 
 import random
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Optional
@@ -70,6 +71,10 @@ class SimulationResult:
     mean_inter_miss_ns: Optional[float]
     core_busy_fraction: float = 0.0
     counters: Dict[str, float] = field(default_factory=dict)
+    # Kernel throughput: simulated events executed per wall-clock
+    # second for this run (0.0 when the wall time was unmeasurably
+    # small).  Not deterministic — excluded from golden comparisons.
+    events_per_second: float = 0.0
 
     def describe(self) -> str:
         lines = [
@@ -104,6 +109,14 @@ class Runner:
         self.response_latency = LatencyTracker(name="response")
         self.throughput = ThroughputTracker(name="jobs")
         self.stats = CounterSet("runner")
+        # Bound handles for counters bumped on (nearly) every access.
+        self._tlb_miss_count = self.stats.counter("tlb_misses")
+        self._jobs_completed_count = self.stats.counter("jobs_completed")
+        self._rng_random = self._rng.random
+        # Per-run invariants bound once for the per-access fast paths.
+        self._tlb_miss_probability = config.tlb.miss_probability
+        self._flat_walk_ns = (config.os.page_table_levels
+                              * self.machine.flat_dram_latency_ns)
 
         self._queues: Dict[int, Deque[Job]] = {
             core_id: deque() for core_id in range(config.num_cores)
@@ -138,6 +151,7 @@ class Runner:
         machine = self.machine
         engine = machine.engine
         scale = self.config.scale
+        wall_start = time.perf_counter()
 
         if self._warm:
             machine.warm_caches(self.workload)
@@ -166,9 +180,11 @@ class Runner:
         engine.run(until=end)
         self.throughput.stop_measurement(engine.now)
 
-        return self._build_result(open_loop)
+        wall_seconds = time.perf_counter() - wall_start
+        return self._build_result(open_loop, wall_seconds)
 
-    def _build_result(self, open_loop: bool) -> SimulationResult:
+    def _build_result(self, open_loop: bool,
+                      wall_seconds: float = 0.0) -> SimulationResult:
         if self.service_latency.count == 0:
             raise ConfigurationError(
                 "no jobs completed in the measurement window; "
@@ -185,6 +201,14 @@ class Runner:
                            * self.config.scale.measurement_ns)
         busy_fraction = min(1.0, busy_ns / max(total_core_time, 1.0))
         counters = self.stats.as_dict()
+        # Kernel health/throughput telemetry.  These keys are new
+        # relative to the recorded goldens and wall-clock-adjacent, so
+        # golden comparisons skip the "engine." prefix.
+        engine = self.machine.engine
+        counters["engine.events_executed"] = float(engine.events_executed)
+        counters["engine.compactions"] = float(engine.compactions)
+        events_per_second = (engine.events_executed / wall_seconds
+                             if wall_seconds > 0 else 0.0)
         if self.machine.dram_cache is not None:
             counters.update({
                 f"dramcache.{k}": v for k, v in
@@ -213,6 +237,7 @@ class Runner:
             mean_inter_miss_ns=inter_miss,
             core_busy_fraction=busy_fraction,
             counters=counters,
+            events_per_second=events_per_second,
         )
 
     # ------------------------------------------------------------ load gen --
@@ -247,7 +272,7 @@ class Runner:
         self.service_latency.record(now - job.started_at)
         self.response_latency.record(now - job.arrived_at)
         self.throughput.record_completion()
-        self.stats.add("jobs_completed")
+        self._jobs_completed_count.incr()
 
     # ------------------------------------------------------- replay helper --
 
@@ -296,6 +321,12 @@ class Runner:
         engine = self.machine.engine
         flat = self.machine.flat_dram_latency_ns
         cache = self.machine.dram_cache
+        # Per-step locals for the hot inner loop; the TLB-hit draw is
+        # inlined so _walk_miss_ns only runs on actual TLB misses.
+        rng_random = self._rng_random
+        tlb_p = self._tlb_miss_probability
+        walk_miss = self._walk_miss_ns
+        cache_access = cache.access if cache is not None else None
 
         while True:
             job = self._next_job(core_id)
@@ -306,16 +337,19 @@ class Runner:
                 continue
             job.started_at = engine.now
             accumulated = 0.0
+            job_next_step = job.next_step
             while True:
-                step = job.next_step()
+                step = job_next_step()
                 if step is None:
                     break
-                accumulated += step.compute_ns + self._walk_cost(step.page)
+                accumulated += step.compute_ns + (
+                    0.0 if rng_random() >= tlb_p else walk_miss(step.page)
+                )
                 self._accesses += 1
                 if not with_cache:
                     accumulated += flat
                 else:
-                    result = cache.access(step.page, step.is_write)
+                    result = cache_access(step.page, step.is_write)
                     if result.hit:
                         accumulated += result.latency_ns
                     else:
@@ -399,14 +433,24 @@ class Runner:
         return self.machine.flash.average_read_latency_ns()
 
     def _run_thread(self, core_id: int, library, thread: UserThread, mode):
-        engine = self.machine.engine
         core = self.machine.cores[core_id]
         accumulated = 0.0
+        # Per-step locals: this loop runs once per memory access on the
+        # multiplexed modes.  The hit paths are handled inline so the
+        # miss generators (and their setup cost) only run on misses.
+        astriflash = mode is PagingMode.ASTRIFLASH
+        cache = self.machine.dram_cache if astriflash else None
+        pager = None if astriflash else self.machine.pager
+        flat = self.machine.flat_dram_latency_ns
+        rng_random = self._rng_random
+        tlb_p = self._tlb_miss_probability
+        walk_miss = self._walk_miss_ns
+        job_next_step = thread.job.next_step
 
         while True:
             step = thread.current_step
             if step is None:
-                step = thread.job.next_step()
+                step = job_next_step()
                 thread.current_step = step
             if step is None:
                 if accumulated > 0.0:
@@ -416,17 +460,26 @@ class Runner:
                 self._finish_job(job)
                 return
 
-            accumulated += step.compute_ns + self._walk_cost(step.page)
+            accumulated += step.compute_ns + (
+                0.0 if rng_random() >= tlb_p else walk_miss(step.page)
+            )
             self._accesses += 1
 
-            if mode is PagingMode.ASTRIFLASH:
-                outcome = yield from self._astriflash_access(
-                    core_id, library, thread, step, accumulated
-                )
+            if astriflash:
+                result = cache.access(step.page, step.is_write)
+                if result.hit:
+                    outcome = accumulated + result.latency_ns
+                else:
+                    outcome = yield from self._astriflash_miss(
+                        core_id, library, thread, step, accumulated, result
+                    )
             else:
-                outcome = yield from self._os_swap_access(
-                    core_id, library, thread, step, accumulated
-                )
+                if pager.access(step.page, step.is_write):
+                    outcome = accumulated + flat
+                else:
+                    outcome = yield from self._os_swap_fault(
+                        core_id, library, thread, step, accumulated
+                    )
             if outcome is None:
                 # Thread parked on the miss: back to the scheduler.
                 return
@@ -443,15 +496,12 @@ class Runner:
 
     # -- AstriFlash miss path ------------------------------------------------------
 
-    def _astriflash_access(self, core_id: int, library, thread: UserThread,
-                           step, accumulated: float):
-        cache = self.machine.dram_cache
+    def _astriflash_miss(self, core_id: int, library, thread: UserThread,
+                         step, accumulated: float, result):
+        """Miss continuation for the AstriFlash access path; the hit
+        case is handled inline in :meth:`_run_thread`."""
         core = self.machine.cores[core_id]
         engine = self.machine.engine
-
-        result = cache.access(step.page, step.is_write)
-        if result.hit:
-            return accumulated + result.latency_ns
 
         self._misses += 1
         thread.job.misses += 1
@@ -522,14 +572,13 @@ class Runner:
 
     # -- OS-Swap fault path -----------------------------------------------------------
 
-    def _os_swap_access(self, core_id: int, library, thread: UserThread,
-                        step, accumulated: float):
+    def _os_swap_fault(self, core_id: int, library, thread: UserThread,
+                       step, accumulated: float):
+        """Fault continuation for the OS-Swap access path; the
+        resident-set hit is handled inline in :meth:`_run_thread`."""
         pager = self.machine.pager
         engine = self.machine.engine
         flat = self.machine.flat_dram_latency_ns
-
-        if pager.access(step.page, step.is_write):
-            return accumulated + flat
 
         self._misses += 1
         thread.job.misses += 1
@@ -588,16 +637,23 @@ class Runner:
         goes through the DRAM cache and the walk blocks synchronously on
         a flash fetch when it misses (Sec. IV-A).
         """
-        tlb = self.config.tlb
-        if self._rng.random() >= tlb.miss_probability:
+        if self._rng_random() >= self._tlb_miss_probability:
             return 0.0
-        self.stats.add("tlb_misses")
-        levels = self.config.os.page_table_levels
-        flat_walk = levels * self.machine.flat_dram_latency_ns
+        return self._walk_miss_ns(data_page)
+
+    def _walk_miss_ns(self, data_page: int) -> float:
+        """Walk cost once the TLB-miss draw has already lost.
+
+        Split from :meth:`_walk_cost` so the inner loops can inline the
+        (overwhelmingly common) TLB-hit draw and only pay a call frame
+        on actual misses.
+        """
+        self._tlb_miss_count.incr()
         if not self.machine.page_tables_in_flash_space:
-            return flat_walk
+            return self._flat_walk_ns
         # noDP: upper levels stay cached; the leaf PTE page goes through
         # the DRAM cache and can miss to flash.
+        levels = self.config.os.page_table_levels
         pt_page = self.machine.page_table_page(data_page)
         result = self.machine.dram_cache.access(pt_page, False)
         upper_levels = (levels - 1) * self.machine.flat_dram_latency_ns

@@ -88,6 +88,9 @@ class CoreModel:
         self.registers = MissHandlingRegisters()
         self.mshrs = MshrFile(config.mshr_entries)
         self.stats = CounterSet(f"core{core_id}")
+        # Bound handles for the per-miss hot path.
+        self._miss_signals = self.stats.counter("miss_signals")
+        self._data_responses = self.stats.counter("data_responses")
 
     # -- timing ------------------------------------------------------------------
 
@@ -114,10 +117,10 @@ class CoreModel:
         """A DRAM-cache miss signal arrived: reclaim the MSHR and
         return the ROB seq of the triggering instruction."""
         allocation = self.mshrs.reclaim_by_page(page)
-        self.stats.add("miss_signals")
+        self._miss_signals.incr()
         return allocation.rob_seq
 
     def receive_data(self, page: int) -> None:
         """Normal data response: reclaim the MSHR."""
         self.mshrs.reclaim_by_page(page)
-        self.stats.add("data_responses")
+        self._data_responses.incr()

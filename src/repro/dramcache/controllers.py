@@ -109,6 +109,9 @@ class BacksideController:
         self.evict_buffer = Server(engine, capacity=config.evict_buffer_entries,
                                    name="bc-evict-buffer")
         self.stats = CounterSet("backside")
+        # Bound handles for the per-miss hot path (see CounterSet.counter).
+        self._flash_reads = self.stats.counter("flash_reads")
+        self._installs = self.stats.counter("installs")
         self.fill_latency = LatencyTracker(exact=False, name="bc-fill")
         self.fill_latency.start_measurement()
         spawn(engine, self._accept_loop(), name="bc-accept")
@@ -149,7 +152,7 @@ class BacksideController:
             )
         else:
             read_signal = self.flash.read(request.page)
-        self.stats.add("flash_reads")
+        self._flash_reads.incr()
 
         # While flash works (~50 us), secure space in the target set.
         yield from self._make_room(request.page)
@@ -162,7 +165,7 @@ class BacksideController:
         self.organization.install(request.page, dirty=request.is_write)
         request.installed_at = self.engine.now
         self.msr.release(request.page)
-        self.stats.add("installs")
+        self._installs.incr()
         self.fill_latency.record(request.fill_latency_ns)
         request.install_signal.fire(request)
 
@@ -221,6 +224,14 @@ class FrontsideController:
         self.organization = organization
         self.backside = backside
         self.stats = CounterSet("frontside")
+        # Bound handles for the per-access hot path.
+        self._accesses = self.stats.counter("accesses")
+        self._hits_result_latency = timing.hit_latency_ns
+        # All hits look alike and callers never mutate results, so one
+        # shared instance serves every hit.
+        self._hit_result = AccessResult(True, timing.hit_latency_ns)
+        self._misses = self.stats.counter("misses")
+        self._coalesced = self.stats.counter("coalesced_misses")
         # Misses currently pending (page -> MissRequest) so duplicate
         # misses coalesce onto one flash read.
         self._pending: Dict[int, MissRequest] = {}
@@ -232,16 +243,16 @@ class FrontsideController:
         hit latency; misses return the miss-signal latency plus a
         completion signal that fires when the refill lands.
         """
-        self.stats.add("accesses")
+        self._accesses.incr()
         if self.organization.lookup(page, is_write):
-            return AccessResult(True, self.timing.hit_latency_ns)
+            return self._hit_result
 
         pending = self._pending.get(page)
         if pending is not None:
             pending.coalesced += 1
             if is_write:
                 pending.is_write = True
-            self.stats.add("coalesced_misses")
+            self._coalesced.incr()
             return AccessResult(
                 False, self.timing.miss_detect_ns,
                 completion=pending.install_signal, coalesced=True,
@@ -249,7 +260,7 @@ class FrontsideController:
 
         request = MissRequest(self.engine, page, is_write)
         self._pending[page] = request
-        self.stats.add("misses")
+        self._misses.incr()
         if not self.backside.miss_queue.try_put(request):
             # BC queue full: FC stalls until space frees up; the stall
             # is modelled as a background put so the core still sees

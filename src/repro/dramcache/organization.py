@@ -8,11 +8,24 @@ for that.
 
 This module is purely functional state: lookups, LRU, installs,
 reservations (ways claimed for in-flight refills) and evictions.
+
+Tag probes are the single hottest substrate operation in the simulator
+(every access, warmup step, and replay goes through them), so each set
+maintains a ``page -> Way`` dict for valid tags and another for
+in-flight reservations alongside the way list.  The dicts are an
+*index*, not the source of truth: LRU and victim selection still walk
+the way list, preserving the original tie-breaking order exactly.  Two
+invariants keep the views coherent (property-tested in
+``tests/test_dramcache_organization.py``):
+
+* a way is in the valid index iff ``way.page is not None``;
+* a way is in the reserved index iff ``way.reserved_for is not None``
+  (and a reserved way always has ``page is None``).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.errors import ConfigurationError, ProtocolError
 from repro.stats import CounterSet
@@ -72,12 +85,30 @@ class DramCacheOrganization:
         self._sets: List[List[Way]] = [
             [Way() for _ in range(associativity)] for _ in range(self.num_sets)
         ]
+        # Per-set tag indexes: page -> Way for valid tags, and
+        # reserved_for -> Way for in-flight refills.
+        self._tag_index: List[Dict[int, Way]] = [
+            {} for _ in range(self.num_sets)
+        ]
+        self._reserved_index: List[Dict[int, Way]] = [
+            {} for _ in range(self.num_sets)
+        ]
+        # Power-of-two set counts (the common configuration) index with
+        # a mask instead of a modulo; identical mapping either way.
+        self._set_mask = (self.num_sets - 1
+                          if self.num_sets & (self.num_sets - 1) == 0
+                          else None)
         self._clock = 0  # LRU timestamp source
         self.stats = CounterSet("dram-cache-org")
+        self._hits = self.stats.counter("hits")
+        self._misses = self.stats.counter("misses")
 
     # -- indexing -------------------------------------------------------------
 
     def set_index(self, page: int) -> int:
+        mask = self._set_mask
+        if mask is not None:
+            return page & mask
         return page % self.num_sets
 
     def _ways(self, page: int) -> List[Way]:
@@ -88,24 +119,26 @@ class DramCacheOrganization:
     def lookup(self, page: int, is_write: bool = False) -> bool:
         """Probe the tags; on a hit, touch LRU (and dirty for writes)."""
         self._clock += 1
-        for way in self._ways(page):
-            if way.page == page:
-                way.last_touch = self._clock
-                way.access_count += 1
-                if is_write:
-                    way.dirty = True
-                self.stats.add("hits")
-                return True
-        self.stats.add("misses")
+        mask = self._set_mask
+        index = page & mask if mask is not None else page % self.num_sets
+        way = self._tag_index[index].get(page)
+        if way is not None:
+            way.last_touch = self._clock
+            way.access_count += 1
+            if is_write:
+                way.dirty = True
+            self._hits.incr()
+            return True
+        self._misses.incr()
         return False
 
     def contains(self, page: int) -> bool:
         """Tag probe without LRU side effects."""
-        return any(way.page == page for way in self._ways(page))
+        return page in self._tag_index[self.set_index(page)]
 
     def is_reserved(self, page: int) -> bool:
         """True if a refill for ``page`` already holds a way."""
-        return any(way.reserved_for == page for way in self._ways(page))
+        return page in self._reserved_index[self.set_index(page)]
 
     # -- refill path ------------------------------------------------------------
 
@@ -118,31 +151,36 @@ class DramCacheOrganization:
         the set is already reserved — the backside controller must bound
         outstanding misses per set to avoid this.
         """
-        ways = self._ways(page)
-        if any(way.reserved_for == page for way in ways):
+        set_index = self.set_index(page)
+        reserved = self._reserved_index[set_index]
+        if page in reserved:
             raise ProtocolError(f"page {page} already has a reserved way")
+        ways = self._sets[set_index]
         # Prefer an invalid, unreserved way.
         for way in ways:
-            if not way.valid and not way.reserved:
+            if way.page is None and way.reserved_for is None:
                 way.reserved_for = page
+                reserved[page] = way
                 return None
         # Evict the LRU valid, unreserved way.
         victim: Optional[Way] = None
         for way in ways:
-            if way.valid and not way.reserved:
+            if way.page is not None and way.reserved_for is None:
                 if victim is None or way.last_touch < victim.last_touch:
                     victim = way
         if victim is None:
             raise ProtocolError(
-                f"all ways of set {self.set_index(page)} are reserved; "
+                f"all ways of set {set_index} are reserved; "
                 "too many concurrent misses to one set"
             )
         evicted = EvictedPage(victim.page, victim.dirty,
                               victim.access_count)
+        del self._tag_index[set_index][victim.page]
         victim.page = None
         victim.dirty = False
         victim.access_count = 0
         victim.reserved_for = page
+        reserved[page] = victim
         self.stats.add("evictions")
         if evicted.dirty:
             self.stats.add("dirty_evictions")
@@ -151,35 +189,94 @@ class DramCacheOrganization:
     def install(self, page: int, dirty: bool = False) -> None:
         """Fill the reserved way with the arrived page."""
         self._clock += 1
-        for way in self._ways(page):
-            if way.reserved_for == page:
-                way.page = page
-                way.dirty = dirty
-                way.last_touch = self._clock
-                way.access_count = 1  # the access that missed replays
-                way.reserved_for = None
-                self.stats.add("installs")
-                return
-        raise ProtocolError(f"install of page {page} without a reservation")
+        set_index = self.set_index(page)
+        way = self._reserved_index[set_index].pop(page, None)
+        if way is None:
+            raise ProtocolError(f"install of page {page} without a reservation")
+        way.page = page
+        way.dirty = dirty
+        way.last_touch = self._clock
+        way.access_count = 1  # the access that missed replays
+        way.reserved_for = None
+        self._tag_index[set_index][page] = way
+        self.stats.add("installs")
 
     def cancel_reservation(self, page: int) -> None:
         """Release a reservation without installing (error paths)."""
-        for way in self._ways(page):
-            if way.reserved_for == page:
-                way.reserved_for = None
-                return
-        raise ProtocolError(f"no reservation to cancel for page {page}")
+        set_index = self.set_index(page)
+        way = self._reserved_index[set_index].pop(page, None)
+        if way is None:
+            raise ProtocolError(f"no reservation to cancel for page {page}")
+        way.reserved_for = None
 
     # -- direct manipulation (warmup / tests) -----------------------------------
 
     def populate(self, page: int) -> Optional[EvictedPage]:
         """Insert a page immediately (used for cache warmup)."""
-        if self.contains(page):
-            self.lookup(page)
+        # Single probe replacing the old contains() + lookup() pair;
+        # the hit arm mirrors lookup()'s hit path exactly and the miss
+        # arm has no probe side effects, matching the old behaviour.
+        mask = self._set_mask
+        index = page & mask if mask is not None else page % self.num_sets
+        way = self._tag_index[index].get(page)
+        if way is not None:
+            self._clock += 1
+            way.last_touch = self._clock
+            way.access_count += 1
+            self._hits.incr()
             return None
         evicted = self.reserve_victim(page)
         self.install(page)
         return evicted
+
+    def warm_job(self, steps) -> int:
+        """Warmup fast path: stream one job's steps through
+        :meth:`populate` semantics (plus the write-touch
+        ``lookup(page, is_write=True)`` per write step) without a
+        method call per step.  Clock, LRU, dirty and counter effects
+        are identical to the populate()/lookup() pair it replaces;
+        returns the number of steps consumed.
+        """
+        num_sets = self.num_sets
+        mask = self._set_mask
+        tag_index = self._tag_index
+        hits = 0
+        done = 0
+        for step in steps:
+            page = step.page
+            index = page & mask if mask is not None else page % num_sets
+            way = tag_index[index].get(page)
+            if way is None:
+                self.reserve_victim(page)
+                self.install(page)
+                if step.is_write:
+                    way = tag_index[index][page]
+                    clock = self._clock + 1
+                    self._clock = clock
+                    way.last_touch = clock
+                    way.access_count += 1
+                    way.dirty = True
+                    hits += 1
+            else:
+                clock = self._clock + 1
+                self._clock = clock
+                way.last_touch = clock
+                way.access_count += 1
+                hits += 1
+                if step.is_write:
+                    clock += 1
+                    self._clock = clock
+                    way.last_touch = clock
+                    way.access_count += 1
+                    way.dirty = True
+                    hits += 1
+            done += 1
+        if hits:
+            # One batched add: hit counts are integral, so summing the
+            # increments first yields the same float value as adding
+            # them one at a time.
+            self._hits.add(hits)
+        return done
 
     def occupancy(self) -> int:
         """Number of valid pages currently cached."""

@@ -55,13 +55,11 @@ def workload_trace(workload_name: str, scale: HarnessScale,
     workload = make_workload(workload_name, scale.dataset_pages, seed=seed,
                              **scale.workload_kwargs())
     pages: List[int] = []
+    append = pages.append
     while len(pages) < num_steps:
         job = workload.make_job()
-        while True:
-            step = job.next_step()
-            if step is None:
-                break
-            pages.append(step.page)
+        for step in job.steps:
+            append(step.page)
     return pages[:num_steps]
 
 
@@ -95,22 +93,24 @@ def run(scale="quick", steps_per_workload: int = 60_000,
         for trace in traces.values():
             split = len(trace) // 2
             cache: "OrderedDict[int, None]" = OrderedDict()
+            move_to_end = cache.move_to_end
+            popitem = cache.popitem
             for page in trace[:split]:
                 if page in cache:
-                    cache.move_to_end(page)
+                    move_to_end(page)
                 else:
                     if len(cache) >= capacity:
-                        cache.popitem(last=False)
+                        popitem(last=False)
                     cache[page] = None
             hits = misses = 0
             for page in trace[split:]:
                 if page in cache:
-                    cache.move_to_end(page)
+                    move_to_end(page)
                     hits += 1
                 else:
                     misses += 1
                     if len(cache) >= capacity:
-                        cache.popitem(last=False)
+                        popitem(last=False)
                     cache[page] = None
             ratios.append(misses / max(1, hits + misses))
         mean_miss = sum(ratios) / len(ratios)

@@ -10,10 +10,12 @@ numbers.
 from __future__ import annotations
 
 import math
+import time
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
 from repro.harness.common import ExperimentResult
+from repro.sim.engine import total_events_executed
 
 Point = Tuple[float, float]
 _MARKERS = "*o+x#@%&"
@@ -123,13 +125,15 @@ def render(result: ExperimentResult, with_chart: bool = True) -> str:
 
 
 def write_report(results: List[ExperimentResult], path: str,
-                 header: str = "") -> None:
+                 header: str = "", footer: str = "") -> None:
     """Write all regenerated artifacts into one text report."""
     with open(path, "w") as handle:
         if header:
             handle.write(header.rstrip() + "\n\n")
         for result in results:
             handle.write(render(result) + "\n\n")
+        if footer:
+            handle.write(footer.rstrip() + "\n")
 
 
 def generate(experiments: Mapping[str, Callable[..., ExperimentResult]],
@@ -144,8 +148,19 @@ def generate(experiments: Mapping[str, Callable[..., ExperimentResult]],
     reuse the result cache, so regenerating a report after regenerating
     a figure costs only the runs not already cached.
     """
+    events_before = total_events_executed()
+    wall_start = time.perf_counter()
     results = [runner(scale=scale, jobs=jobs)
                for runner in experiments.values()]
+    wall_seconds = time.perf_counter() - wall_start
+    events = total_events_executed() - events_before
     if out is not None:
-        write_report(results, out, header=header)
+        # Kernel throughput footer: in-process events only, so worker
+        # processes (jobs > 1) and cache hits leave it at zero — it is
+        # telemetry for the simulator, not a result.
+        footer = ""
+        if events and wall_seconds > 0:
+            footer = (f"kernel: {events:,} events in {wall_seconds:.1f} s "
+                      f"({events / wall_seconds:,.0f} events/s in-process)")
+        write_report(results, out, header=header, footer=footer)
     return results

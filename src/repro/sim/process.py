@@ -86,7 +86,12 @@ class Process:
         except StopIteration as stop:
             self._finish(stop.value)
             return
-        self._wait_on(target)
+        # Fast path: the overwhelmingly common yield is a plain float
+        # sleep; dispatch it here without the _wait_on call frame.
+        if type(target) is float:
+            self.engine.schedule(target, self._resume, None)
+        else:
+            self._wait_on(target)
 
     def _wait_on(self, target: Yieldable) -> None:
         if isinstance(target, (int, float)):

@@ -36,11 +36,16 @@ class ArraySwapWorkload(Workload):
         return self.dataset_pages * ELEMENTS_PER_PAGE
 
     def _steps_for_job(self, job_id: int) -> Iterator[Step]:
+        # _compute is inlined (same draw, same bits — see Workload._compute).
+        step = Step
+        sample = self._zipf.sample
+        rng_random = self._rng_random
+        compute_ns = self.compute_ns
         for _ in range(self.ops_per_job):
-            page_a = self._zipf.sample()
-            page_b = self._zipf.sample()
+            page_a = sample()
+            page_b = sample()
             # Read both elements, then write both back swapped.
-            yield Step(self._compute(self.compute_ns), page_a)
-            yield Step(self._compute(self.compute_ns), page_b)
-            yield Step(self._compute(self.compute_ns), page_a, is_write=True)
-            yield Step(self._compute(self.compute_ns), page_b, is_write=True)
+            yield step(compute_ns * (0.5 + rng_random()), page_a)
+            yield step(compute_ns * (0.5 + rng_random()), page_b)
+            yield step(compute_ns * (0.5 + rng_random()), page_a, is_write=True)
+            yield step(compute_ns * (0.5 + rng_random()), page_b, is_write=True)

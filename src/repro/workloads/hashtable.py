@@ -9,7 +9,9 @@ pointer-chasing page trace the paper's microbenchmark exercises.
 from __future__ import annotations
 
 import random
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
 
 from repro.errors import WorkloadError
 from repro.workloads.base import Job, Step, Workload
@@ -21,17 +23,15 @@ BUCKETS_PER_PAGE = 512
 ENTRY_SIZE_BYTES = 48
 
 
-class _Entry:
-    __slots__ = ("key", "page", "next_entry")
-
-    def __init__(self, key: int, page: int) -> None:
-        self.key = key
-        self.page = page
-        self.next_entry: Optional["_Entry"] = None
-
-
 class HashIndex:
-    """A bucketed chain hash index with page-path lookups."""
+    """A bucketed chain hash index with page-path lookups.
+
+    Chains are stored as per-bucket lists of ``(key, page)`` tuples in
+    insertion order and walked newest-first (``reversed``), which is
+    the same visit order as the linked-entry representation this
+    replaces — but tuples are built at C speed, which matters because
+    workload construction loads tens of thousands of keys per run.
+    """
 
     def __init__(self, num_buckets: int, base_page: int, page_budget: int,
                  expected_entries: int) -> None:
@@ -46,7 +46,9 @@ class HashIndex:
             base_page + bucket_pages, page_budget - bucket_pages,
             expected_entries,
         )
-        self._buckets: List[Optional[_Entry]] = [None] * num_buckets
+        self._buckets: List[List[Tuple[int, int]]] = [
+            [] for _ in range(num_buckets)
+        ]
         self._size = 0
 
     @property
@@ -64,40 +66,55 @@ class HashIndex:
         """Insert ``key`` (idempotent); returns touched pages."""
         bucket = self._bucket_of(key)
         pages = [self._bucket_page(bucket)]
-        entry = self._buckets[bucket]
-        while entry is not None:
-            pages.append(entry.page)
-            if entry.key == key:
+        entries = self._buckets[bucket]
+        for entry_key, entry_page in reversed(entries):
+            pages.append(entry_page)
+            if entry_key == key:
                 return pages
-            entry = entry.next_entry
-        new_entry = _Entry(key, self._entry_heap.allocate(ENTRY_SIZE_BYTES).page)
-        new_entry.next_entry = self._buckets[bucket]
-        self._buckets[bucket] = new_entry
+        page = self._entry_heap.allocate(ENTRY_SIZE_BYTES).page
+        entries.append((key, page))
         self._size += 1
-        pages.append(new_entry.page)
+        pages.append(page)
         return pages
+
+    def bulk_load(self, keys: Iterable[int]) -> None:
+        """Insert distinct, not-yet-present keys in one pass.
+
+        Construction-time fast path: equivalent to calling
+        :meth:`insert` per key when no key is already in the index —
+        entries are allocated from the heap in the same order and
+        prepended to the same buckets, so the resulting structure is
+        identical — minus the chain walks and touched-page lists that
+        bulk construction throws away.
+        """
+        keys = list(keys)
+        pages = self._entry_heap.allocate_pages(len(keys))
+        buckets = self._buckets
+        num_buckets = self.num_buckets
+        if keys and 0 <= min(keys) and max(keys) * 2654435761 <= 2 ** 62:
+            # Exact in int64: vectorize the Fibonacci-hash bucket ids.
+            bucket_ids = ((np.asarray(keys, dtype=np.int64) * 2654435761)
+                          % num_buckets).tolist()
+            for key, page, bucket in zip(keys, pages, bucket_ids):
+                buckets[bucket].append((key, page))
+        else:
+            for key, page in zip(keys, pages):
+                buckets[(key * 2654435761) % num_buckets].append((key, page))
+        self._size += len(keys)
 
     def lookup(self, key: int) -> Tuple[Optional[int], List[int]]:
         """(entry page or None, touched page path)."""
-        bucket = self._bucket_of(key)
-        pages = [self._bucket_page(bucket)]
-        entry = self._buckets[bucket]
-        while entry is not None:
-            pages.append(entry.page)
-            if entry.key == key:
-                return entry.page, pages
-            entry = entry.next_entry
+        # Hottest index operation: _bucket_of/_bucket_page inlined.
+        bucket = (key * 2654435761) % self.num_buckets
+        pages = [self._bucket_base + bucket // BUCKETS_PER_PAGE]
+        for entry_key, entry_page in reversed(self._buckets[bucket]):
+            pages.append(entry_page)
+            if entry_key == key:
+                return entry_page, pages
         return None, pages
 
     def average_chain_length(self) -> float:
-        lengths = []
-        for head in self._buckets:
-            count = 0
-            entry = head
-            while entry is not None:
-                count += 1
-                entry = entry.next_entry
-            lengths.append(count)
+        lengths = [len(entries) for entries in self._buckets]
         return sum(lengths) / len(lengths)
 
 
@@ -123,21 +140,27 @@ class HashTableWorkload(Workload):
         self.index = HashIndex(num_buckets, base_page=0,
                                page_budget=dataset_pages,
                                expected_entries=num_keys)
-        for key in range(num_keys):
-            self.index.insert(key)
+        self.index.bulk_load(range(num_keys))
         self._zipf = ZipfianGenerator(num_keys, zipf_s, seed=seed + 1,
                                          permute=False)
 
     def _steps_for_job(self, job_id: int) -> Iterator[Step]:
+        # _compute is inlined (same draw, same bits — see Workload._compute).
+        step_cls = Step
+        sample = self._zipf.sample
+        lookup = self.index.lookup
+        rng_random = self._rng_random
+        compute_ns = self.compute_ns
+        write_fraction = self.write_fraction
         for _ in range(self.ops_per_job):
-            key = self._zipf.sample()
-            entry_page, path = self.index.lookup(key)
+            key = sample()
+            entry_page, path = lookup(key)
             if entry_page is None:
                 raise WorkloadError(f"key {key} missing from hash index")
-            is_write = self._rng.random() < self.write_fraction
+            is_write = rng_random() < write_fraction
             # All path pages are reads; the final entry access may be a
             # value update (write to the entry's page).
             for page in path[:-1]:
-                yield Step(self._compute(self.compute_ns), page)
-            yield Step(self._compute(self.compute_ns), path[-1],
-                       is_write=is_write)
+                yield step_cls(compute_ns * (0.5 + rng_random()), page)
+            yield step_cls(compute_ns * (0.5 + rng_random()), path[-1],
+                           is_write=is_write)

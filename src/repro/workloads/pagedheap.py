@@ -15,6 +15,10 @@ Two placement modes:
 
 from __future__ import annotations
 
+from typing import List
+
+import numpy as np
+
 from repro.errors import ConfigurationError, WorkloadError
 from repro.units import PAGE_SIZE
 
@@ -90,6 +94,29 @@ class SpreadHeap:
         slot = (index * self.page_budget) // max(self.expected_objects, 1)
         page = self.base_page + min(slot, self.page_budget - 1)
         return PageRef(page, 0, size)
+
+    def allocate_pages(self, count: int) -> List[int]:
+        """Pages for the next ``count`` allocations, as plain ints.
+
+        Bulk-construction fast path: yields exactly the page sequence
+        ``count`` successive :meth:`allocate` calls would, without
+        materializing a :class:`PageRef` per object.
+        """
+        base = self.base_page
+        budget = self.page_budget
+        expected = max(self.expected_objects, 1)
+        start = self._allocated
+        end = start + count
+        self._allocated = end
+        if end * budget <= 2 ** 62:
+            # Exact in int64: vectorize the slot computation.
+            slots = (np.arange(start, end, dtype=np.int64) * budget) \
+                // expected
+            np.minimum(slots, budget - 1, out=slots)
+            return (slots + base).tolist()
+        last = budget - 1
+        return [base + min((index * budget) // expected, last)
+                for index in range(start, end)]
 
     @property
     def allocated(self) -> int:

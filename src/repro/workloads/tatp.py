@@ -64,14 +64,21 @@ class TatpWorkload(Workload):
             max(512, num_subscribers // 2), base_page=0,
             page_budget=index_budget, expected_entries=num_subscribers,
         )
-        for subscriber in range(num_subscribers):
-            self.index.insert(subscriber)
+        self.index.bulk_load(range(num_subscribers))
         self._zipf = ZipfianGenerator(num_subscribers, zipf_s,
                                          seed=seed + 1, permute=False)
 
         weights = [weight for _, weight in self.MIX]
         if abs(sum(weights) - 1.0) > 1e-9:
             raise WorkloadError("TATP mix weights must sum to 1")
+        # Precomputed CDF over the mix: the same left-to-right partial
+        # sums _pick_transaction used to accumulate per call.
+        cumulative = 0.0
+        thresholds = []
+        for kind, weight in self.MIX:
+            cumulative += weight
+            thresholds.append((cumulative, kind))
+        self._mix_thresholds = tuple(thresholds)
 
     # -- table addressing -----------------------------------------------------
 
@@ -80,62 +87,71 @@ class TatpWorkload(Workload):
                 // self.num_subscribers) // ROWS_PER_PAGE
         return base + min(slot, self._region_budget - 1)
 
-    def _pick_transaction(self) -> str:
-        roll = self._rng.random()
-        cumulative = 0.0
-        for kind, weight in self.MIX:
-            cumulative += weight
-            if roll < cumulative:
-                return kind
-        return self.MIX[-1][0]
-
     # -- transactions -------------------------------------------------------------
 
-    def _transaction_steps(self, kind: str, subscriber: int) -> Iterator[Step]:
-        row_page, path = self.index.lookup(subscriber)
-        if row_page is None:
-            raise WorkloadError(f"subscriber {subscriber} missing")
-        compute = self.compute_ns
-
-        if kind == "get_subscriber_data":
-            for page in path:
-                yield Step(self._compute(compute), page)
-        elif kind == "get_access_data":
-            for page in path:
-                yield Step(self._compute(compute), page)
-            yield Step(self._compute(compute),
-                       self._array_page(self._access_base, subscriber))
-        elif kind == "get_new_destination":
-            for page in path:
-                yield Step(self._compute(compute), page)
-            yield Step(self._compute(compute),
-                       self._array_page(self._facility_base, subscriber))
-            yield Step(self._compute(compute),
-                       self._array_page(self._forwarding_base, subscriber))
-        elif kind == "update_location":
-            for page in path[:-1]:
-                yield Step(self._compute(compute), page)
-            yield Step(self._compute(compute), path[-1], is_write=True)
-        elif kind == "update_subscriber_data":
-            for page in path[:-1]:
-                yield Step(self._compute(compute), page)
-            yield Step(self._compute(compute), path[-1], is_write=True)
-            yield Step(self._compute(compute),
-                       self._array_page(self._facility_base, subscriber),
-                       is_write=True)
-        elif kind == "insert_call_forwarding":
-            for page in path:
-                yield Step(self._compute(compute), page)
-            yield Step(self._compute(compute),
-                       self._array_page(self._facility_base, subscriber))
-            yield Step(self._compute(compute),
-                       self._array_page(self._forwarding_base, subscriber),
-                       is_write=True)
-        else:  # pragma: no cover - guarded by MIX validation
-            raise WorkloadError(f"unknown TATP transaction {kind!r}")
-
     def _steps_for_job(self, job_id: int) -> Iterator[Step]:
+        # Transaction bodies are inlined rather than delegated through a
+        # per-transaction sub-generator: every step of a TATP job would
+        # otherwise resume two generator frames, and this is the hottest
+        # step producer in the suite.  _compute is also inlined (same
+        # draw, same bits — see Workload._compute).  Draw order (zipf
+        # sample, mix roll, per-step compute jitter) is unchanged.
+        step_cls = Step
+        compute_ns = self.compute_ns
+        sample = self._zipf.sample
+        rng_random = self._rng_random
+        thresholds = self._mix_thresholds
+        lookup = self.index.lookup
         for _ in range(self.transactions_per_job):
-            subscriber = self._zipf.sample()
-            kind = self._pick_transaction()
-            yield from self._transaction_steps(kind, subscriber)
+            subscriber = sample()
+            roll = rng_random()
+            kind = thresholds[-1][1]
+            for threshold, candidate in thresholds:
+                if roll < threshold:
+                    kind = candidate
+                    break
+            row_page, path = lookup(subscriber)
+            if row_page is None:
+                raise WorkloadError(f"subscriber {subscriber} missing")
+
+            if kind == "get_subscriber_data":
+                for page in path:
+                    yield step_cls(compute_ns * (0.5 + rng_random()), page)
+            elif kind == "get_access_data":
+                for page in path:
+                    yield step_cls(compute_ns * (0.5 + rng_random()), page)
+                yield step_cls(compute_ns * (0.5 + rng_random()),
+                               self._array_page(self._access_base, subscriber))
+            elif kind == "get_new_destination":
+                for page in path:
+                    yield step_cls(compute_ns * (0.5 + rng_random()), page)
+                yield step_cls(compute_ns * (0.5 + rng_random()),
+                               self._array_page(self._facility_base,
+                                                subscriber))
+                yield step_cls(compute_ns * (0.5 + rng_random()),
+                               self._array_page(self._forwarding_base,
+                                                subscriber))
+            elif kind == "update_location":
+                for page in path[:-1]:
+                    yield step_cls(compute_ns * (0.5 + rng_random()), page)
+                yield step_cls(compute_ns * (0.5 + rng_random()), path[-1], is_write=True)
+            elif kind == "update_subscriber_data":
+                for page in path[:-1]:
+                    yield step_cls(compute_ns * (0.5 + rng_random()), page)
+                yield step_cls(compute_ns * (0.5 + rng_random()), path[-1], is_write=True)
+                yield step_cls(compute_ns * (0.5 + rng_random()),
+                               self._array_page(self._facility_base,
+                                                subscriber),
+                               is_write=True)
+            elif kind == "insert_call_forwarding":
+                for page in path:
+                    yield step_cls(compute_ns * (0.5 + rng_random()), page)
+                yield step_cls(compute_ns * (0.5 + rng_random()),
+                               self._array_page(self._facility_base,
+                                                subscriber))
+                yield step_cls(compute_ns * (0.5 + rng_random()),
+                               self._array_page(self._forwarding_base,
+                                                subscriber),
+                               is_write=True)
+            else:  # pragma: no cover - guarded by MIX validation
+                raise WorkloadError(f"unknown TATP transaction {kind!r}")

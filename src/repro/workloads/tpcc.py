@@ -92,33 +92,37 @@ class TpccWorkload(Workload):
     # -- transactions ------------------------------------------------------------
 
     def _new_order_steps(self, customer: int) -> Iterator[Step]:
-        compute = self.compute_ns
-        yield Step(self._compute(compute), self._warehouse_page(customer))
+        # _compute is inlined (same draw, same bits — see Workload._compute).
+        compute_ns = self.compute_ns
+        rng_random = self._rng_random
+        sample = self._item_zipf.sample
+        warehouse = self._warehouse_page(customer)
+        yield Step(compute_ns * (0.5 + rng_random()), warehouse)
         # District row: read-modify-write of next_o_id.
-        yield Step(self._compute(compute), self._warehouse_page(customer),
-                   is_write=True)
-        yield Step(self._compute(compute), self._customer_page(customer))
+        yield Step(compute_ns * (0.5 + rng_random()), warehouse, is_write=True)
+        yield Step(compute_ns * (0.5 + rng_random()), self._customer_page(customer))
         for _ in range(self.items_per_order):
-            item = self._item_zipf.sample()
-            yield Step(self._compute(compute), self._item_page(item))
-            yield Step(self._compute(compute), self._stock_page(item))
-            yield Step(self._compute(compute), self._stock_page(item),
-                       is_write=True)
-            yield Step(self._compute(compute), self._next_orderline_page(),
+            item = sample()
+            stock = self._stock_page(item)
+            yield Step(compute_ns * (0.5 + rng_random()), self._item_page(item))
+            yield Step(compute_ns * (0.5 + rng_random()), stock)
+            yield Step(compute_ns * (0.5 + rng_random()), stock, is_write=True)
+            yield Step(compute_ns * (0.5 + rng_random()), self._next_orderline_page(),
                        is_write=True)
 
     def _payment_steps(self, customer: int) -> Iterator[Step]:
-        compute = self.compute_ns
-        yield Step(self._compute(compute), self._warehouse_page(customer),
+        compute_ns = self.compute_ns
+        rng_random = self._rng_random
+        customer_page = self._customer_page(customer)
+        yield Step(compute_ns * (0.5 + rng_random()), self._warehouse_page(customer),
                    is_write=True)
-        yield Step(self._compute(compute), self._customer_page(customer))
-        yield Step(self._compute(compute), self._customer_page(customer),
-                   is_write=True)
+        yield Step(compute_ns * (0.5 + rng_random()), customer_page)
+        yield Step(compute_ns * (0.5 + rng_random()), customer_page, is_write=True)
 
     def _steps_for_job(self, job_id: int) -> Iterator[Step]:
         for _ in range(self.transactions_per_job):
             customer = self._customer_zipf.sample()
-            if self._rng.random() < self.NEW_ORDER_WEIGHT:
+            if self._rng_random() < self.NEW_ORDER_WEIGHT:
                 yield from self._new_order_steps(customer)
             else:
                 yield from self._payment_steps(customer)

@@ -39,7 +39,10 @@ class ZipfianGenerator:
                 self._rng.permutation(n)
         else:
             self._permutation = None
-        self._buffer = np.empty(0, dtype=np.int64)
+        # The batch buffer holds plain Python ints: per-sample numpy
+        # scalar extraction (`int(ndarray[i])`) costs more than the
+        # whole one-off `tolist()` conversion at refill time.
+        self._buffer: list = []
         self._cursor = 0
 
     def _refill(self) -> None:
@@ -47,16 +50,19 @@ class ZipfianGenerator:
         ranks = np.searchsorted(self._cdf, uniforms, side="left")
         if self._permutation is not None:
             ranks = self._permutation[ranks]
-        self._buffer = ranks
+        self._buffer = ranks.tolist()
         self._cursor = 0
 
     def sample(self) -> int:
         """One item index in [0, n)."""
-        if self._cursor >= len(self._buffer):
+        cursor = self._cursor
+        buffer = self._buffer
+        if cursor >= len(buffer):
             self._refill()
-        value = int(self._buffer[self._cursor])
-        self._cursor += 1
-        return value
+            cursor = 0
+            buffer = self._buffer
+        self._cursor = cursor + 1
+        return buffer[cursor]
 
     def sample_array(self, count: int) -> np.ndarray:
         """``count`` item indices as a numpy array."""

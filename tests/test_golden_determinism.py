@@ -1,0 +1,121 @@
+"""Golden determinism test for the optimized simulation kernel.
+
+The hot-path overhaul (event pooling, heap compaction, dict-indexed
+DRAM-cache tags, bound counters, inlined histogram bucketing) must not
+change simulation semantics: the same ``(time, seq)`` event ordering
+must produce bit-identical ``SimulationResult`` statistics.  This test
+pins that property against a golden file recorded from the
+pre-optimization simulator, for a representative subset of the Fig. 9
+quick-scale grid (one cell per configuration).
+
+Regenerate the golden (only when a change *intentionally* alters
+simulation semantics) with::
+
+    PYTHONPATH=src python tests/test_golden_determinism.py --record
+
+Comparison is exact (``==`` on floats): JSON serialization of Python
+floats round-trips bit-for-bit, so any drift in event ordering, RNG
+consumption, or stats accumulation fails the test.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness.parallel import RunSpec, execute_spec
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "fig9_quick_golden.json"
+
+# One cell per Fig. 9 configuration, all at quick scale with the
+# harness seed, so every mode's hot path (flat DRAM, FC/BC miss
+# machinery, ULT scheduling, OS paging, synchronous miss waits) is
+# exercised against the golden.
+GOLDEN_SPECS = [
+    RunSpec("dram-only", "arrayswap", "quick", seed=42),
+    RunSpec("astriflash", "tatp", "quick", seed=42),
+    RunSpec("astriflash-ideal", "tpcc", "quick", seed=42),
+    RunSpec("os-swap", "tatp", "quick", seed=42),
+    RunSpec("flash-sync", "arrayswap", "quick", seed=42),
+]
+
+# Deterministic SimulationResult fields.  Wall-clock-derived fields
+# (events_per_second) are excluded; so are the kernel-health counters
+# under the "engine." prefix, which did not exist when the golden was
+# recorded and are allowed to evolve with the kernel.
+GOLDEN_FIELDS = [
+    "config_name",
+    "workload_name",
+    "throughput_jobs_per_s",
+    "completed_jobs",
+    "service_p50_ns",
+    "service_p99_ns",
+    "service_mean_ns",
+    "response_p99_ns",
+    "response_mean_ns",
+    "miss_ratio",
+    "mean_inter_miss_ns",
+    "core_busy_fraction",
+]
+
+
+def canonicalize(result) -> dict:
+    entry = {name: getattr(result, name) for name in GOLDEN_FIELDS}
+    entry["counters"] = {
+        key: value for key, value in sorted(result.counters.items())
+        if not key.startswith("engine.")
+    }
+    return entry
+
+
+def run_golden_specs() -> dict:
+    return {
+        spec.label(): canonicalize(
+            execute_spec(spec)
+        )
+        for spec in GOLDEN_SPECS
+    }
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    if not GOLDEN_PATH.exists():  # pragma: no cover
+        pytest.fail(
+            f"golden file missing: {GOLDEN_PATH}; record it with "
+            "PYTHONPATH=src python tests/test_golden_determinism.py --record"
+        )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("spec", GOLDEN_SPECS,
+                         ids=[spec.label() for spec in GOLDEN_SPECS])
+def test_results_bit_identical_to_golden(spec, golden):
+    recorded = golden[spec.label()]
+    actual = canonicalize(execute_spec(spec))
+    for name in GOLDEN_FIELDS:
+        assert actual[name] == recorded[name], (
+            f"{spec.label()}: field {name!r} drifted: "
+            f"{actual[name]!r} != golden {recorded[name]!r}"
+        )
+    assert actual["counters"] == recorded["counters"], (
+        f"{spec.label()}: counters drifted from golden"
+    )
+
+
+def test_golden_covers_every_fig9_config(golden):
+    configs = {spec.config_name for spec in GOLDEN_SPECS}
+    from repro.harness.fig9 import CONFIGS
+
+    assert configs == set(CONFIGS)
+    assert set(golden) == {spec.label() for spec in GOLDEN_SPECS}
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--record" not in sys.argv:
+        sys.exit("usage: python tests/test_golden_determinism.py --record")
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(run_golden_specs(), indent=2,
+                                      sort_keys=True) + "\n")
+    print(f"recorded {GOLDEN_PATH}")

@@ -30,7 +30,11 @@ def tiny_spec(config_name="astriflash", **kwargs) -> RunSpec:
 
 
 def result_fields(result) -> dict:
-    return dataclasses.asdict(result)
+    fields = dataclasses.asdict(result)
+    # Kernel events/sec is wall-clock-derived and varies run to run;
+    # every simulated statistic must still match bit-for-bit.
+    fields.pop("events_per_second", None)
+    return fields
 
 
 class TestSpecs:

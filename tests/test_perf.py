@@ -1,0 +1,123 @@
+"""Tests for the profiling subsystem (``python -m repro profile``)."""
+
+import cProfile
+import json
+import os
+import pstats
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ReproError
+from repro.perf import (
+    Hotspot,
+    ProfileReport,
+    hotspots_from_stats,
+    profile_experiment,
+)
+from repro.sim import Engine
+from repro.sim.engine import total_events_executed
+
+
+def _burn(iterations: int) -> int:
+    total = 0
+    for index in range(iterations):
+        total += index * index
+    return total
+
+
+class TestHotspotExtraction:
+    def test_hotspots_ranked_by_internal_time(self):
+        profiler = cProfile.Profile()
+        profiler.enable()
+        _burn(200_000)
+        profiler.disable()
+        spots = hotspots_from_stats(pstats.Stats(profiler), top=5)
+        assert spots
+        assert all(isinstance(spot, Hotspot) for spot in spots)
+        # Sorted by tottime, descending.
+        times = [spot.total_s for spot in spots]
+        assert times == sorted(times, reverse=True)
+        assert any("_burn" in spot.function for spot in spots)
+
+    def test_top_limits_rows(self):
+        profiler = cProfile.Profile()
+        profiler.enable()
+        _burn(1000)
+        profiler.disable()
+        spots = hotspots_from_stats(pstats.Stats(profiler), top=1)
+        assert len(spots) == 1
+
+
+class TestProfileReport:
+    def _report(self):
+        return ProfileReport(
+            experiment="fig9", scale="quick", wall_seconds=1.5,
+            total_calls=1234, events_executed=3000,
+            events_per_second=2000.0,
+            hotspots=[Hotspot("a.py:1(f)", 10, 0.5, 1.0)],
+        )
+
+    def test_format_text_mentions_throughput(self):
+        text = self._report().format_text()
+        assert "fig9" in text
+        assert "2,000 events/s" in text
+        assert "a.py:1(f)" in text
+
+    def test_json_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_kernel.json"
+        self._report().write_json(str(path))
+        data = json.loads(path.read_text())
+        assert data["experiment"] == "fig9"
+        assert data["events_per_second"] == 2000.0
+        assert data["hotspots"][0]["function"] == "a.py:1(f)"
+
+
+class TestProfileExperiment:
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ReproError):
+            profile_experiment("nope")
+
+    def test_invalid_top_raises(self):
+        with pytest.raises(ReproError):
+            profile_experiment("table1", top=0)
+
+    def test_profiles_static_experiment(self):
+        report = profile_experiment("table1", top=5)
+        assert report.experiment == "table1"
+        assert report.scale == "quick"
+        assert report.total_calls > 0
+        assert report.wall_seconds >= 0.0
+        assert len(report.hotspots) <= 5
+
+    def test_cache_env_is_restored(self):
+        saved = os.environ.get("REPRO_CACHE")
+        os.environ["REPRO_CACHE"] = "1"
+        try:
+            profile_experiment("table1", top=3)
+            assert os.environ["REPRO_CACHE"] == "1"
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_CACHE", None)
+            else:
+                os.environ["REPRO_CACHE"] = saved
+
+
+class TestCli:
+    def test_profile_command_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_kernel.json"
+        assert main(["profile", "table1", "--top", "3",
+                     "--json", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "profile: table1" in captured
+        data = json.loads(out.read_text())
+        assert set(data) >= {"experiment", "events_per_second", "hotspots"}
+
+
+def test_total_events_executed_tracks_engine_runs():
+    before = total_events_executed()
+    engine = Engine()
+    for index in range(25):
+        engine.schedule(float(index), lambda: None)
+    engine.run()
+    assert total_events_executed() - before == 25

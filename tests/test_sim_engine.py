@@ -147,3 +147,49 @@ def test_step_executes_one_event():
     assert fired == [1]
     assert engine.step()
     assert not engine.step()
+
+
+def test_cancel_heavy_queue_is_compacted_and_bounded():
+    engine = Engine()
+    fired = []
+    for index in range(10):
+        engine.schedule(10_000.0 + index, fired.append, index)
+    for _ in range(50):
+        events = [engine.schedule(5_000.0, fired.append, -1)
+                  for _ in range(100)]
+        for event in events:
+            engine.cancel(event)
+        # Dead entries must never accumulate across rounds: compaction
+        # keeps the heap within a small multiple of the live count.
+        assert engine.queue_length <= 300
+    assert engine.compactions > 0
+    assert engine.pending_events == 10
+    engine.run()
+    assert fired == list(range(10))
+
+
+def test_compaction_preserves_pop_order():
+    engine = Engine()
+    fired = []
+    keepers = []
+    for index in range(200):
+        event = engine.schedule(float(index), fired.append, index)
+        if index % 3 == 0:
+            keepers.append(index)
+        else:
+            engine.cancel(event)
+    assert engine.compactions >= 1
+    engine.run()
+    assert fired == keepers
+
+
+def test_compaction_skips_tiny_queues():
+    engine = Engine()
+    events = [engine.schedule(100.0, lambda: None) for _ in range(10)]
+    for event in events:
+        engine.cancel(event)
+    # Below the compaction floor the dead entries just wait to be
+    # popped; nothing should have been rebuilt.
+    assert engine.compactions == 0
+    engine.run()
+    assert engine.queue_length == 0

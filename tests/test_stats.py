@@ -228,3 +228,75 @@ class TestSampling:
             measure(lambda seed: 0.0, num_samples=1)
         with pytest.raises(ReproError):
             measure_until(lambda seed: 0.0, target_relative_error=1.5)
+
+
+class TestExactReservoirRunningSum:
+    """The O(1) running-sum mean must survive sort/extend interleaving."""
+
+    def test_mean_after_extend_following_percentile(self):
+        res = ExactReservoir()
+        res.extend([5.0, 1.0, 3.0])
+        assert res.percentile(0.5) == 3.0  # forces a sort
+        res.extend([11.0, 2.0])
+        assert res.mean() == pytest.approx(22.0 / 5)
+
+    def test_mean_matches_naive_sum_after_resort(self):
+        values = [7.5, 0.25, 3.125, 9.0, 1.0, 1.0, 6.5]
+        res = ExactReservoir()
+        res.extend(values[:3])
+        res.percentile(0.9)
+        res.extend(values[3:])
+        res.percentile(0.9)  # re-sorts and re-syncs the sum
+        assert res.mean() == sum(sorted(values)) / len(values)
+
+    def test_interleaved_record_and_stats(self):
+        res = ExactReservoir()
+        total = 0.0
+        for index in range(50):
+            value = float((index * 31) % 17)
+            res.record(value)
+            total += value
+            if index % 7 == 0:
+                res.min(), res.max()  # sorting must not corrupt the sum
+            assert res.mean() == pytest.approx(total / (index + 1))
+
+
+class TestLogHistogramKeyCache:
+    """percentile() walks a cached sorted key list; the cache must be
+    invalidated whenever record()/merge() introduces a new bucket."""
+
+    def test_record_into_new_bucket_after_percentile(self):
+        hist = LogHistogram()
+        hist.record(10.0)
+        hist.record(100.0)
+        assert hist.percentile(0.5) < 200.0  # primes the cache
+        hist.record(10_000.0)  # brand-new bucket
+        p100 = hist.percentile(1.0)
+        assert abs(p100 - 10_000.0) / 10_000.0 < 0.05
+
+    def test_merge_into_new_bucket_after_percentile(self):
+        left = LogHistogram()
+        left.record(10.0)
+        left.percentile(0.5)  # primes the cache
+        right = LogHistogram()
+        right.record(5_000.0)
+        left.merge(right)
+        p100 = left.percentile(1.0)
+        assert abs(p100 - 5_000.0) / 5_000.0 < 0.05
+
+    def test_cached_percentiles_match_fresh_histogram(self):
+        import random as _random
+        rng = _random.Random(7)
+        cached = LogHistogram()
+        values = []
+        for round_index in range(40):
+            value = rng.uniform(1.0, 1e6)
+            values.append(value)
+            cached.record(value)
+            if round_index % 3 == 0:
+                cached.percentile(0.9)  # interleave cache priming
+        fresh = LogHistogram()
+        for value in values:
+            fresh.record(value)
+        for fraction in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+            assert cached.percentile(fraction) == fresh.percentile(fraction)

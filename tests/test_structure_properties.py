@@ -102,3 +102,58 @@ class TestFtlProperties:
         plane = ftl.planes[0]
         valid = sum(block.valid_count for block in plane.blocks)
         assert valid == min(hot_pages, num_writes)
+
+
+class TestTagIndexCoherence:
+    """The per-set ``page -> Way`` dicts are an index over the way
+    lists, not the source of truth; any operation sequence must leave
+    the two views identical (the organization-module invariants)."""
+
+    @given(st.lists(
+        st.tuples(
+            st.sampled_from(("lookup", "write", "reserve", "install",
+                             "cancel", "populate")),
+            st.integers(0, 63),
+        ),
+        min_size=1, max_size=250,
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_dict_views_match_way_lists(self, operations):
+        org = DramCacheOrganization(num_pages=32, associativity=4)
+        for op, page in operations:
+            if op == "lookup":
+                org.lookup(page)
+            elif op == "write":
+                org.lookup(page, is_write=True)
+            elif op == "reserve":
+                if not org.is_reserved(page) and not org.contains(page):
+                    try:
+                        org.reserve_victim(page)
+                    except ProtocolError:
+                        pass  # every way of the set reserved
+            elif op == "install":
+                if org.is_reserved(page):
+                    org.install(page)
+            elif op == "cancel":
+                if org.is_reserved(page):
+                    org.cancel_reservation(page)
+            elif op == "populate":
+                if not org.is_reserved(page):
+                    try:
+                        org.populate(page)
+                    except ProtocolError:
+                        pass  # every way of the set reserved
+
+            for set_index, ways in enumerate(org._sets):
+                valid_view = {
+                    way.page: way for way in ways if way.page is not None
+                }
+                reserved_view = {
+                    way.reserved_for: way
+                    for way in ways if way.reserved_for is not None
+                }
+                assert org._tag_index[set_index] == valid_view
+                assert org._reserved_index[set_index] == reserved_view
+                # A reserved way never simultaneously holds a page.
+                assert all(way.page is None
+                           for way in reserved_view.values())
