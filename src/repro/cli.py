@@ -5,6 +5,8 @@ Commands:
 * ``experiments``                 — list the regenerable paper artifacts
 * ``run <experiment> [--scale]``  — regenerate one figure/table
 * ``run-all [--scale]``           — regenerate everything
+* ``trace-run <experiment>``      — traced run -> Chrome trace JSON
+* ``report [--telemetry]``        — full report (+ tail attribution)
 * ``simulate``                    — one ad-hoc simulation run
 * ``workloads`` / ``configs``     — list registries
 """
@@ -61,6 +63,31 @@ def _build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--out", default="repro_report.txt")
     report_parser.add_argument("--jobs", type=int, default=None,
                                help=jobs_help)
+    report_parser.add_argument("--telemetry", action="store_true",
+                               help="also run traced simulations and "
+                                    "append the tail-latency attribution "
+                                    "(Table-2-style component breakdown)")
+
+    trace_parser = commands.add_parser(
+        "trace-run", help="regenerate one artifact with request-lifecycle "
+                          "tracing; writes Chrome trace-event JSON for "
+                          "Perfetto / chrome://tracing")
+    trace_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    trace_parser.add_argument("--scale", default="quick",
+                              choices=("quick", "full"))
+    trace_parser.add_argument("--out", default="trace.json",
+                              help="Chrome trace-event JSON output path")
+    trace_parser.add_argument("--sample", type=int, default=1,
+                              help="trace one request in N (default 1 = "
+                                   "every request)")
+    trace_parser.add_argument("--telemetry-out", default=None,
+                              metavar="CSV",
+                              help="also write the time-series telemetry "
+                                   "(MSR/queues/busy) as CSV")
+    trace_parser.add_argument("--telemetry-interval-us", type=float,
+                              default=5.0,
+                              help="telemetry sampling period in "
+                                   "simulated us (0 disables; default 5)")
 
     profile_parser = commands.add_parser(
         "profile", help="regenerate one artifact under cProfile and "
@@ -122,7 +149,8 @@ def cmd_run_all(scale: str, jobs: Optional[int]) -> int:
     return 0
 
 
-def cmd_report(scale: str, out: str, jobs: Optional[int]) -> int:
+def cmd_report(scale: str, out: str, jobs: Optional[int],
+               telemetry: bool = False) -> int:
     from repro.harness.report import generate
 
     generate(
@@ -131,6 +159,71 @@ def cmd_report(scale: str, out: str, jobs: Optional[int]) -> int:
                 "every paper table/figure regenerated"),
     )
     print(f"wrote {out}")
+    if telemetry:
+        breakdown = _telemetry_breakdown(scale)
+        print()
+        print(breakdown)
+        with open(out, "a", encoding="utf-8") as handle:
+            handle.write("\nTail-latency attribution "
+                         "(traced, sampled requests)\n")
+            handle.write("-" * 58 + "\n")
+            handle.write(breakdown + "\n")
+    return 0
+
+
+def _telemetry_breakdown(scale: str) -> str:
+    """Traced runs of the paper's headline designs -> Table-2-style
+    per-percentile component breakdown."""
+    from repro.harness.parallel import RunSpec
+    from repro.obs import attribute, format_attribution, trace_specs
+
+    specs = [
+        RunSpec("astriflash", "tatp", scale),
+        RunSpec("flash-sync", "tatp", scale),
+        RunSpec("os-swap", "tatp", scale),
+    ]
+    tracer, _ = trace_specs(specs)
+    return format_attribution(attribute(tracer.completed))
+
+
+def cmd_trace_run(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        Tracer,
+        attribute,
+        format_attribution,
+        trace_experiment,
+        validate_chrome_trace,
+        write_chrome_trace,
+        write_telemetry_csv,
+    )
+
+    if args.sample < 1:
+        print("trace-run: --sample must be >= 1", file=sys.stderr)
+        return 2
+    tracer = Tracer(
+        sample_every=args.sample,
+        telemetry_interval_ns=args.telemetry_interval_us * US,
+    )
+    tracer, result = trace_experiment(args.experiment, scale=args.scale,
+                                      tracer=tracer)
+    print(result.format_table())
+    print()
+    document = write_chrome_trace(tracer, args.out)
+    summary = tracer.summary()
+    print(f"trace: {args.out} ({len(document['traceEvents'])} events, "
+          f"{summary['requests_traced']} of {summary['requests_seen']} "
+          f"requests traced, {summary['dropped_events']} dropped)")
+    if args.telemetry_out is not None:
+        write_telemetry_csv(tracer.telemetry_rows, args.telemetry_out)
+        print(f"telemetry: {args.telemetry_out} "
+              f"({summary['telemetry_samples']} samples)")
+    print()
+    print(format_attribution(attribute(tracer.completed)))
+    problems = validate_chrome_trace(document)
+    if problems:
+        for problem in problems[:10]:
+            print(f"trace validation: {problem}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -175,7 +268,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run-all":
         return cmd_run_all(args.scale, args.jobs)
     if args.command == "report":
-        return cmd_report(args.scale, args.out, args.jobs)
+        return cmd_report(args.scale, args.out, args.jobs, args.telemetry)
+    if args.command == "trace-run":
+        return cmd_trace_run(args)
     if args.command == "profile":
         return cmd_profile(args.experiment, args.scale, args.top,
                            args.json_out)

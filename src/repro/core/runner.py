@@ -34,6 +34,8 @@ from typing import Deque, Dict, Optional
 from repro.config.system import PagingMode, SystemConfig
 from repro.core.machine import Machine
 from repro.errors import ConfigurationError, SimulationError
+from repro.obs.telemetry import TelemetrySampler
+from repro.obs.tracer import active as _tracer_active
 from repro.sim import Signal, observe, spawn
 from repro.stats import CounterSet, LatencyTracker, ThroughputTracker
 from repro.ult.queuepair import CompletionQueue
@@ -113,6 +115,12 @@ class Runner:
         self._tlb_miss_count = self.stats.counter("tlb_misses")
         self._jobs_completed_count = self.stats.counter("jobs_completed")
         self._rng_random = self._rng.random
+        # Observability: bind the active tracer once (None = disabled).
+        # Hot paths branch on this local/attribute, never on the
+        # module flag, and sampled jobs take duplicated *traced* loop
+        # bodies so the untraced per-step path stays branch-free.
+        self._tracer = _tracer_active()
+        self._telemetry: Optional[TelemetrySampler] = None
         # Per-run invariants bound once for the per-access fast paths.
         self._tlb_miss_probability = config.tlb.miss_probability
         self._flat_walk_ns = (config.os.page_table_levels
@@ -156,6 +164,15 @@ class Runner:
         if self._warm:
             machine.warm_caches(self.workload)
 
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.begin_run(f"{self.config.name}/{self.workload.name}")
+            if tracer.telemetry_interval_ns > 0.0:
+                self._telemetry = TelemetrySampler(
+                    self, tracer, tracer.telemetry_interval_ns
+                )
+                self._telemetry.start()
+
         open_loop = isinstance(self.arrivals, PoissonArrivals)
         if open_loop:
             for core_id in range(self.config.num_cores):
@@ -179,6 +196,8 @@ class Runner:
         end = scale.warmup_ns + scale.measurement_ns
         engine.run(until=end)
         self.throughput.stop_measurement(engine.now)
+        if tracer is not None:
+            tracer.end_run(engine.now)
 
         wall_seconds = time.perf_counter() - wall_start
         return self._build_result(open_loop, wall_seconds)
@@ -273,6 +292,8 @@ class Runner:
         self.response_latency.record(now - job.arrived_at)
         self.throughput.record_completion()
         self._jobs_completed_count.incr()
+        if self._tracer is not None:
+            self._tracer.finish_request(job, now)
 
     # ------------------------------------------------------- replay helper --
 
@@ -327,6 +348,7 @@ class Runner:
         tlb_p = self._tlb_miss_probability
         walk_miss = self._walk_miss_ns
         cache_access = cache.access if cache is not None else None
+        tracer = self._tracer
 
         while True:
             job = self._next_job(core_id)
@@ -336,6 +358,15 @@ class Runner:
                 yield signal
                 continue
             job.started_at = engine.now
+            if tracer is not None:
+                record = tracer.start_request(job, engine.now)
+                if record is not None:
+                    # Sampled job: run the instrumented twin of the
+                    # loop below (identical yields and RNG draws).
+                    yield from self._traced_rtc_job(
+                        core_id, job, record, with_cache
+                    )
+                    continue
             accumulated = 0.0
             job_next_step = job.next_step
             while True:
@@ -373,12 +404,85 @@ class Runner:
                 self._busy_ns += accumulated
             self._finish_job(job)
 
+    def _traced_rtc_job(self, core_id: int, job: Job, record,
+                        with_cache: bool):
+        """Instrumented twin of one job iteration of
+        :meth:`_run_to_completion_loop`.
+
+        Must stay yield-for-yield and RNG-draw-for-draw identical to
+        the untraced body — the golden determinism test pins this.  The
+        only additions are component charges on ``record`` and track
+        events (both read-only with respect to simulation state).
+        """
+        engine = self.machine.engine
+        flat = self.machine.flat_dram_latency_ns
+        cache = self.machine.dram_cache
+        rng_random = self._rng_random
+        tlb_p = self._tlb_miss_probability
+        walk_miss = self._walk_miss_ns
+        cache_access = cache.access if cache is not None else None
+        tracer = self._tracer
+        track = f"core{core_id}"
+
+        tracer.push(track, f"{job.workload_name}#{job.job_id}", engine.now)
+        accumulated = 0.0
+        job_next_step = job.next_step
+        while True:
+            step = job_next_step()
+            if step is None:
+                break
+            walk_ns = (0.0 if rng_random() >= tlb_p
+                       else walk_miss(step.page))
+            accumulated += step.compute_ns + walk_ns
+            record.compute += step.compute_ns
+            record.tlb_walk += walk_ns
+            self._accesses += 1
+            if not with_cache:
+                accumulated += flat
+                record.dram_hit += flat
+            else:
+                result = cache_access(step.page, step.is_write)
+                if result.hit:
+                    accumulated += result.latency_ns
+                    record.dram_hit += result.latency_ns
+                else:
+                    # Flash-Sync: the core waits for the refill.
+                    self._misses += 1
+                    job.misses += 1
+                    yield accumulated
+                    self._busy_ns += accumulated
+                    accumulated = 0.0
+                    wait_start = engine.now
+                    tracer.instant(track, "miss", wait_start,
+                                   {"page": step.page})
+                    yield result.completion
+                    replay_ns = yield from self._replay_until_hit(
+                        step.page, step.is_write
+                    )
+                    record.sync_wait += engine.now - wait_start
+                    record.add_span("sync_wait", wait_start, engine.now)
+                    tracer.complete(track, "sync_wait", wait_start,
+                                    engine.now, {"page": step.page})
+                    accumulated += replay_ns
+                    record.dram_hit += replay_ns
+                    self.stats.add("sync_miss_waits")
+            if accumulated >= TIME_QUANTUM_NS:
+                yield accumulated
+                self._busy_ns += accumulated
+                accumulated = 0.0
+        if accumulated > 0.0:
+            yield accumulated
+            self._busy_ns += accumulated
+        tracer.pop(track, engine.now)
+        self._finish_job(job)
+
     # -- AstriFlash and OS-Swap: switch-on-stall multiplexing --------------------
 
     def _multiplexed_loop(self, core_id: int):
         engine = self.machine.engine
         library = self.machine.libraries[core_id]
         mode = self.config.mode
+        tracer = self._tracer
 
         while True:
             self._admit(core_id)
@@ -391,6 +495,7 @@ class Runner:
                 yield signal
                 continue
 
+            dispatched_from = thread.state
             if thread.state is ThreadState.PENDING:
                 # Aged (or forced) head whose data has not arrived: the
                 # scheduler waits for the flash response (Sec. IV-D2).
@@ -411,6 +516,21 @@ class Runner:
             thread.dispatch()
             if thread.job.started_at is None:
                 thread.job.started_at = engine.now
+                if tracer is not None:
+                    tracer.start_request(thread.job, engine.now)
+            elif tracer is not None and dispatched_from in (
+                    ThreadState.PENDING, ThreadState.READY):
+                record = tracer.lookup(thread.job.job_id)
+                if record is not None:
+                    # Close the parked interval: halt -> this dispatch.
+                    signal = thread.wait_signal
+                    payload = (signal.value
+                               if signal is not None and signal.fired
+                               else None)
+                    record.charge_resume(
+                        thread.pending_since, thread.data_ready_at,
+                        engine.now, switch_ns, payload,
+                    )
             if was_ready:
                 # Forward-progress guarantee: the resuming instruction
                 # must retire even if its page was evicted meanwhile.
@@ -433,6 +553,14 @@ class Runner:
         return self.machine.flash.average_read_latency_ns()
 
     def _run_thread(self, core_id: int, library, thread: UserThread, mode):
+        tracer = self._tracer
+        if tracer is not None:
+            record = tracer.lookup(thread.job.job_id)
+            if record is not None:
+                yield from self._run_thread_traced(
+                    core_id, library, thread, mode, record
+                )
+                return
         core = self.machine.cores[core_id]
         accumulated = 0.0
         # Per-step locals: this loop runs once per memory access on the
@@ -494,12 +622,94 @@ class Runner:
                 self._busy_ns += accumulated
                 accumulated = 0.0
 
+    def _run_thread_traced(self, core_id: int, library, thread: UserThread,
+                           mode, record):
+        """Instrumented twin of :meth:`_run_thread` for sampled jobs.
+
+        Yield-for-yield and draw-for-draw identical to the untraced
+        body; adds component charges plus a core-track slice spanning
+        this on-core episode (dispatch to park/finish).
+        """
+        core = self.machine.cores[core_id]
+        engine = self.machine.engine
+        tracer = self._tracer
+        accumulated = 0.0
+        astriflash = mode is PagingMode.ASTRIFLASH
+        cache = self.machine.dram_cache if astriflash else None
+        pager = None if astriflash else self.machine.pager
+        flat = self.machine.flat_dram_latency_ns
+        rng_random = self._rng_random
+        tlb_p = self._tlb_miss_probability
+        walk_miss = self._walk_miss_ns
+        job = thread.job
+        job_next_step = job.next_step
+        track = f"core{core_id}"
+        tracer.push(track, f"{job.workload_name}#{job.job_id}", engine.now)
+
+        while True:
+            step = thread.current_step
+            if step is None:
+                step = job_next_step()
+                thread.current_step = step
+            if step is None:
+                if accumulated > 0.0:
+                    yield accumulated
+                    self._busy_ns += accumulated
+                tracer.pop(track, engine.now)
+                finished = library.on_finish(thread)
+                self._finish_job(finished)
+                return
+
+            walk_ns = (0.0 if rng_random() >= tlb_p
+                       else walk_miss(step.page))
+            accumulated += step.compute_ns + walk_ns
+            record.compute += step.compute_ns
+            record.tlb_walk += walk_ns
+            self._accesses += 1
+
+            if astriflash:
+                result = cache.access(step.page, step.is_write)
+                if result.hit:
+                    outcome = accumulated + result.latency_ns
+                    record.dram_hit += result.latency_ns
+                else:
+                    outcome = yield from self._astriflash_miss(
+                        core_id, library, thread, step, accumulated,
+                        result, record
+                    )
+            else:
+                if pager.access(step.page, step.is_write):
+                    outcome = accumulated + flat
+                    record.dram_hit += flat
+                else:
+                    outcome = yield from self._os_swap_fault(
+                        core_id, library, thread, step, accumulated, record
+                    )
+            if outcome is None:
+                # Thread parked on the miss: back to the scheduler.
+                tracer.pop(track, engine.now)
+                return
+            accumulated = outcome
+            thread.current_step = None
+            if thread.forward_progress:
+                thread.forward_progress = False
+                core.registers.retire_resuming_instruction()
+            if accumulated >= TIME_QUANTUM_NS:
+                yield accumulated
+                self._busy_ns += accumulated
+                accumulated = 0.0
+
     # -- AstriFlash miss path ------------------------------------------------------
 
     def _astriflash_miss(self, core_id: int, library, thread: UserThread,
-                         step, accumulated: float, result):
+                         step, accumulated: float, result, record=None):
         """Miss continuation for the AstriFlash access path; the hit
-        case is handled inline in :meth:`_run_thread`."""
+        case is handled inline in :meth:`_run_thread`.
+
+        ``record`` is the request's trace record when the job is
+        sampled (misses are rare relative to steps, so per-miss
+        ``record is not None`` checks stay off the per-access path).
+        """
         core = self.machine.cores[core_id]
         engine = self.machine.engine
 
@@ -532,6 +742,11 @@ class Runner:
         yield accumulated + cold_walk_ns + result.latency_ns + flush_ns
         self._busy_ns += accumulated + cold_walk_ns + result.latency_ns \
             + flush_ns
+        if record is not None:
+            record.tlb_walk += cold_walk_ns
+            record.miss_signal += result.latency_ns + flush_ns
+            self._tracer.instant(f"core{core_id}", "miss", engine.now,
+                                 {"page": step.page})
         if pt_completion is not None:
             # The hardware walker blocks the core until the PTE page
             # arrives from flash; no thread switch can hide it.
@@ -539,6 +754,12 @@ class Runner:
             yield pt_completion
             self.stats.add("time_pt_walk_wait_ns",
                            engine.now - walk_start)
+            if record is not None:
+                record.tlb_walk += engine.now - walk_start
+                record.add_span("tlb_walk", walk_start, engine.now)
+                self._tracer.complete(f"core{core_id}", "pt_walk_wait",
+                                      walk_start, engine.now,
+                                      {"page": step.page})
 
         if thread.forward_progress:
             # Sec. IV-C3: complete synchronously, do not deschedule.
@@ -549,6 +770,9 @@ class Runner:
                 step.page, step.is_write
             )
             self.stats.add("time_sync_wait_ns", engine.now - wait_start)
+            if record is not None:
+                self._charge_sync_wait(record, core_id, wait_start,
+                                       replay_ns, step.page)
             return replay_ns
 
         if library.scheduler.pending_full:
@@ -561,6 +785,9 @@ class Runner:
                 step.page, step.is_write
             )
             self.stats.add("time_sync_wait_ns", engine.now - wait_start)
+            if record is not None:
+                self._charge_sync_wait(record, core_id, wait_start,
+                                       replay_ns, step.page)
             return replay_ns
 
         # Park the thread and return to the scheduler.
@@ -573,7 +800,7 @@ class Runner:
     # -- OS-Swap fault path -----------------------------------------------------------
 
     def _os_swap_fault(self, core_id: int, library, thread: UserThread,
-                       step, accumulated: float):
+                       step, accumulated: float, record=None):
         """Fault continuation for the OS-Swap access path; the
         resident-set hit is handled inline in :meth:`_run_thread`."""
         pager = self.machine.pager
@@ -586,6 +813,10 @@ class Runner:
         # the OS switches away (switch charged at next dispatch).
         yield accumulated + self.config.os.page_fault_kernel_ns
         self._busy_ns += accumulated + self.config.os.page_fault_kernel_ns
+        if record is not None:
+            record.miss_signal += self.config.os.page_fault_kernel_ns
+            self._tracer.instant(f"core{core_id}", "fault", engine.now,
+                                 {"page": step.page})
 
         done = Signal(engine, f"fault-done:{step.page}")
 
@@ -600,12 +831,27 @@ class Runner:
             wait_start = engine.now
             yield done
             self.stats.add("time_sync_wait_ns", engine.now - wait_start)
+            if record is not None:
+                self._charge_sync_wait(record, core_id, wait_start,
+                                       flat, step.page)
             return flat
 
         library.on_miss(thread, step.page, engine.now)
         thread.wait_signal = done
         observe(done, self._make_ready_callback(core_id, library, thread))
         return None
+
+    def _charge_sync_wait(self, record, core_id: int, wait_start: float,
+                          replay_ns: float, page: int) -> None:
+        """Attribute a synchronous refill wait ending now: the blocked
+        interval goes to ``sync_wait``, the final replayed hit (or
+        flat re-access) to ``dram_hit``."""
+        now = self.machine.engine.now
+        record.sync_wait += now - wait_start
+        record.dram_hit += replay_ns
+        record.add_span("sync_wait", wait_start, now)
+        self._tracer.complete(f"core{core_id}", "sync_wait", wait_start,
+                              now, {"page": page})
 
     def _drain_completions(self, core_id: int, library) -> None:
         """Read the queue pair and mark notified threads ready."""

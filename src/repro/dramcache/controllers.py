@@ -26,6 +26,7 @@ from repro.dramcache.organization import DramCacheOrganization
 from repro.dramcache.timing import DramCacheTiming
 from repro.errors import ProtocolError
 from repro.flash.device import FlashDevice
+from repro.obs.tracer import active as _tracer_active
 from repro.sim import Engine, Ready, Server, Signal, Store, spawn
 from repro.stats import CounterSet, LatencyTracker
 from repro.units import US
@@ -39,7 +40,8 @@ class MissRequest:
     """
 
     __slots__ = ("page", "is_write", "created_at", "install_signal",
-                 "coalesced", "installed_at")
+                 "coalesced", "installed_at", "flash_issued_at",
+                 "flash_done_at")
 
     def __init__(self, engine: Engine, page: int, is_write: bool) -> None:
         self.page = page
@@ -48,6 +50,12 @@ class MissRequest:
         self.install_signal = Signal(engine, f"install:{page}")
         self.coalesced = 0
         self.installed_at: Optional[float] = None
+        # Lifecycle stamps for the observability layer: when the BC
+        # issued the flash read and when the page arrived.  Always
+        # recorded (two stores per miss) so the tracer can decompose a
+        # parked thread's wait into MSR wait / flash read / install.
+        self.flash_issued_at: Optional[float] = None
+        self.flash_done_at: Optional[float] = None
 
     @property
     def fill_latency_ns(self) -> float:
@@ -109,6 +117,7 @@ class BacksideController:
         self.evict_buffer = Server(engine, capacity=config.evict_buffer_entries,
                                    name="bc-evict-buffer")
         self.stats = CounterSet("backside")
+        self._tracer = _tracer_active()
         # Bound handles for the per-miss hot path (see CounterSet.counter).
         self._flash_reads = self.stats.counter("flash_reads")
         self._installs = self.stats.counter("installs")
@@ -153,12 +162,14 @@ class BacksideController:
         else:
             read_signal = self.flash.read(request.page)
         self._flash_reads.incr()
+        request.flash_issued_at = self.engine.now
 
         # While flash works (~50 us), secure space in the target set.
         yield from self._make_room(request.page)
 
         # Wait for the page to arrive over PCIe.
         yield read_signal
+        request.flash_done_at = self.engine.now
 
         # Install data + tag into the designated set and way.
         yield self.timing.backside_command_ns + self.timing.page_install_ns
@@ -168,6 +179,11 @@ class BacksideController:
         self._installs.incr()
         self.fill_latency.record(request.fill_latency_ns)
         request.install_signal.fire(request)
+        if self._tracer is not None:
+            self._tracer.complete(
+                "bc", "miss", request.created_at, request.installed_at,
+                {"page": request.page, "coalesced": request.coalesced},
+            )
 
     def _make_room(self, page: int):
         """Reserve a way, retrying if every way is transiently reserved."""
@@ -197,6 +213,9 @@ class BacksideController:
                 yield grant
             yield self.timing.page_install_ns  # row read into the buffer
             self.stats.add("dirty_writebacks")
+            if self._tracer is not None:
+                self._tracer.instant("bc", "writeback", self.engine.now,
+                                     {"page": evicted.page})
             spawn(self.engine, self._writeback(evicted.page),
                   name=f"bc-writeback:{evicted.page}")
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.errors import CapacityError, ConfigurationError, ProtocolError
+from repro.obs.tracer import active as _tracer_active
 from repro.sim import Engine, Signal
 from repro.stats import CounterSet
 
@@ -50,6 +51,7 @@ class MissStatusRow:
         self._entries: Dict[int, MsrEntry] = {}
         self._free_waiters = []
         self.stats = CounterSet("msr")
+        self._tracer = _tracer_active()
         self._peak_occupancy = 0
 
     def __len__(self) -> int:
@@ -78,6 +80,9 @@ class MissStatusRow:
         self._entries[page] = entry
         self.stats.add("allocations")
         self._peak_occupancy = max(self._peak_occupancy, len(self._entries))
+        if self._tracer is not None:
+            self._tracer.counter("msr", self.engine.now,
+                                 float(len(self._entries)))
         return entry
 
     def coalesce(self, page: int, is_write: bool) -> MsrEntry:
@@ -98,6 +103,9 @@ class MissStatusRow:
         if entry is None:
             raise ProtocolError(f"release of missing MSR entry for page {page}")
         self.stats.add("releases")
+        if self._tracer is not None:
+            self._tracer.counter("msr", self.engine.now,
+                                 float(len(self._entries)))
         if self._free_waiters:
             self._free_waiters.pop(0).fire()
         return entry

@@ -22,6 +22,7 @@ from repro.errors import CapacityError, ConfigurationError
 from repro.flash.ftl import PageMappingFtl
 from repro.flash.gc import GarbageCollector
 from repro.flash.pcie import PCIeLink
+from repro.obs.tracer import active as _tracer_active
 from repro.sim import Engine, Server, Signal, spawn
 from repro.stats import CounterSet, LatencyTracker
 
@@ -90,6 +91,7 @@ class FlashDevice:
         self.write_buffer = Server(engine, capacity=config.write_buffer_pages,
                                    name="write-buffer")
         self.stats = CounterSet("flash")
+        self._tracer = _tracer_active()
         self.read_latency = LatencyTracker(exact=False, name="flash-read")
         self.read_latency.start_measurement()
         # Per-channel bus time to move one page at ~2 GB/s per channel.
@@ -163,8 +165,15 @@ class FlashDevice:
         grant = plane.acquire(high_priority=True)
         if grant is not None:
             yield grant
+        tracer = self._tracer
+        if tracer is not None:
+            sense_start = self.engine.now
         yield self.config.read_latency_ns  # NAND sensing
         plane.release()
+        if tracer is not None:
+            tracer.complete(f"flash{request.plane_index}", "read",
+                            sense_start, self.engine.now,
+                            {"page": request.logical_page})
         num_bytes = request.num_bytes or self.config.page_size
         channel = self._channel_of(request.plane_index)
         grant = channel.acquire()
@@ -220,8 +229,15 @@ class FlashDevice:
         grant = plane.acquire()
         if grant is not None:
             yield grant
+        tracer = self._tracer
+        if tracer is not None:
+            program_start = self.engine.now
         yield self.config.program_latency_ns
         plane.release()
+        if tracer is not None:
+            tracer.complete(f"flash{plane_index}", "program",
+                            program_start, self.engine.now,
+                            {"page": request.logical_page})
         self.write_buffer.release()
         self.stats.add("programs_drained")
         # Programs may create free-block pressure; GC runs off the

@@ -1,0 +1,153 @@
+"""Tail-latency attribution: where p99 requests spend their time.
+
+Groups the tracer's completed request records by run, buckets them by
+service-latency percentile, and reports the mean component composition
+of each bucket — the measured analogue of the paper's Table 2 latency
+breakdown, but per percentile band instead of a single mean, so the
+*composition shift* between a typical request and a tail request is
+visible (e.g. p99 requests dominated by MSR wait + flash queueing
+rather than compute).
+
+The per-request component sums are exact by construction (the runner
+charges every nanosecond of the service window to exactly one
+component); ``worst_coverage_error`` reports the largest relative
+deviation between a record's span sum and its measured service
+latency, which the acceptance bar requires to stay within 1%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.obs.tracer import COMPONENTS, RequestRecord
+from repro.units import US
+
+#: Percentile bands, as (label, low, high] over the sorted latency rank.
+BUCKETS = (
+    ("p0-p50", 0.0, 0.50),
+    ("p50-p90", 0.50, 0.90),
+    ("p90-p99", 0.90, 0.99),
+    ("p99-p100", 0.99, 1.0),
+)
+
+
+@dataclass
+class AttributionBucket:
+    """Mean component composition of one percentile band."""
+
+    label: str
+    count: int
+    mean_latency_ns: float
+    components: Dict[str, float] = field(default_factory=dict)
+
+    def share(self, component: str) -> float:
+        if self.mean_latency_ns <= 0.0:
+            return 0.0
+        return self.components.get(component, 0.0) / self.mean_latency_ns
+
+
+@dataclass
+class RunAttribution:
+    """Attribution for all sampled requests of one run."""
+
+    run: str
+    count: int
+    mean_latency_ns: float
+    p99_latency_ns: float
+    buckets: List[AttributionBucket]
+    worst_coverage_error: float
+
+    def bucket(self, label: str) -> AttributionBucket:
+        for bucket in self.buckets:
+            if bucket.label == label:
+                return bucket
+        raise KeyError(label)
+
+
+def _mean_components(records: Sequence[RequestRecord]
+                     ) -> Dict[str, float]:
+    sums = dict.fromkeys(COMPONENTS, 0.0)
+    for record in records:
+        for name in COMPONENTS:
+            sums[name] += getattr(record, name)
+    count = max(1, len(records))
+    return {name: total / count for name, total in sums.items()}
+
+
+def attribute(records: Sequence[RequestRecord]) -> List[RunAttribution]:
+    """Bucket completed records by latency percentile, per run."""
+    by_run: Dict[str, List[RequestRecord]] = {}
+    for record in records:
+        if record.finished_at is None:
+            continue
+        by_run.setdefault(record.run, []).append(record)
+
+    out: List[RunAttribution] = []
+    for run, group in by_run.items():
+        group.sort(key=lambda r: r.service_latency_ns)
+        count = len(group)
+        latencies = [r.service_latency_ns for r in group]
+        buckets: List[AttributionBucket] = []
+        for label, low, high in BUCKETS:
+            lo = int(low * count)
+            hi = max(lo + 1, int(high * count)) if high < 1.0 else count
+            members = group[lo:hi]
+            if not members:
+                continue
+            buckets.append(AttributionBucket(
+                label=label,
+                count=len(members),
+                mean_latency_ns=(sum(r.service_latency_ns for r in members)
+                                 / len(members)),
+                components=_mean_components(members),
+            ))
+        worst = 0.0
+        for record in group:
+            measured = record.service_latency_ns
+            if measured > 0.0:
+                worst = max(worst,
+                            abs(record.span_sum_ns() - measured) / measured)
+        out.append(RunAttribution(
+            run=run,
+            count=count,
+            mean_latency_ns=sum(latencies) / count,
+            p99_latency_ns=latencies[min(count - 1,
+                                         int(0.99 * (count - 1) + 0.5))],
+            buckets=buckets,
+            worst_coverage_error=worst,
+        ))
+    out.sort(key=lambda a: a.run)
+    return out
+
+
+def format_attribution(attributions: Sequence[RunAttribution]) -> str:
+    """Render the Table-2-style breakdown as an ASCII report."""
+    if not attributions:
+        return "tail-latency attribution: no sampled requests completed"
+    lines: List[str] = []
+    active = [c for c in COMPONENTS
+              if any(b.components.get(c, 0.0) > 0.0
+                     for a in attributions for b in a.buckets)]
+    for attribution in attributions:
+        lines.append(
+            f"{attribution.run}: {attribution.count} sampled requests, "
+            f"mean {attribution.mean_latency_ns / US:.1f} us, "
+            f"p99 {attribution.p99_latency_ns / US:.1f} us "
+            f"(worst span-sum error "
+            f"{attribution.worst_coverage_error:.3%})"
+        )
+        header = f"  {'bucket':<10} {'n':>6} {'mean us':>9}"
+        for component in active:
+            header += f" {component:>13}"
+        lines.append(header)
+        for bucket in attribution.buckets:
+            row = (f"  {bucket.label:<10} {bucket.count:>6} "
+                   f"{bucket.mean_latency_ns / US:>9.1f}")
+            for component in active:
+                value = bucket.components.get(component, 0.0)
+                row += (f" {value / US:>6.1f}"
+                        f" ({bucket.share(component):>4.0%})")
+            lines.append(row)
+        lines.append("")
+    return "\n".join(lines).rstrip()

@@ -1,0 +1,199 @@
+"""Chrome trace-event JSON export and validation.
+
+Converts a :class:`repro.obs.tracer.Tracer`'s collected events into the
+Chrome trace-event format (the JSON Array Format with named processes
+and threads) so a run opens directly in Perfetto or
+``chrome://tracing``.  Mapping:
+
+* each traced **run** becomes one trace *process* (pid), named after
+  the run label (``config/workload``);
+* each tracer **track** (``core0`` .. ``coreN``, ``flash``, ``bc``,
+  ``requests``, ``counters``) becomes one *thread* (tid) of that
+  process, in a stable display order;
+* ``B``/``E`` slices, ``X`` complete spans, ``i`` instants and ``C``
+  counter samples map 1:1; request lifetimes use async ``b``/``e``
+  pairs keyed by the request name.
+
+Timestamps: the simulator works in nanoseconds, the trace format in
+microseconds; ``ts = ns / 1000.0`` (fractional microseconds are legal
+and preserve full resolution).
+
+:func:`validate_trace_events` re-checks the invariants CI relies on —
+non-decreasing ``ts``, matched ``B``/``E`` pairs per (pid, tid),
+matched async ``b``/``e`` pairs per (pid, id), known phases — without
+any external schema dependency.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.obs.tracer import Tracer
+
+#: Display order for well-known track prefixes; unknown tracks sort
+#: after these, alphabetically.
+_TRACK_ORDER = ("core", "flash", "bc", "requests", "counters")
+
+ALLOWED_PHASES = frozenset("BEXiCMbe")
+
+
+def _track_sort_key(track: str) -> Tuple[int, str]:
+    for rank, prefix in enumerate(_TRACK_ORDER):
+        if track.startswith(prefix):
+            return (rank, f"{len(track):04d}{track}")  # core2 < core10
+    return (len(_TRACK_ORDER), track)
+
+
+def export_trace_events(tracer: Tracer) -> List[dict]:
+    """Flatten the tracer's events into a trace-event list."""
+    # Stable tid assignment per (run, track), in display order.
+    tracks_per_run: Dict[int, set] = {}
+    for event in tracer.events:
+        tracks_per_run.setdefault(event[1], set()).add(event[2])
+    tids: Dict[Tuple[int, str], int] = {}
+    out: List[dict] = []
+    for run_index, label in enumerate(tracer.runs):
+        pid = run_index + 1
+        out.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": label},
+        })
+        ordered = sorted(tracks_per_run.get(run_index, ()),
+                         key=_track_sort_key)
+        for tid, track in enumerate(ordered, start=1):
+            tids[(run_index, track)] = tid
+            out.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": track},
+            })
+
+    body: List[dict] = []
+    for ts, run_index, track, phase, name, args, dur in tracer.events:
+        event = {
+            "ph": phase,
+            "ts": ts / 1000.0,  # ns -> us
+            "pid": run_index + 1,
+            "tid": tids[(run_index, track)],
+        }
+        if name is not None:
+            event["name"] = name
+        if args:
+            event["args"] = args
+        if phase == "X":
+            event["dur"] = dur / 1000.0
+        elif phase in ("b", "e"):
+            # Async request spans are matched by (cat, id, pid); the
+            # request name is unique within a run, so it is the id.
+            event["cat"] = "request"
+            event["id"] = name
+        elif phase == "i":
+            event["s"] = "t"  # instant scope: thread
+        body.append(event)
+    # The trace format wants non-decreasing timestamps; Python's sort
+    # is stable, so same-ts events keep their recorded order (an E
+    # recorded before a B at the same instant stays before it).
+    body.sort(key=lambda e: e["ts"])
+    out.extend(body)
+    return out
+
+
+def export_chrome_trace(tracer: Tracer) -> dict:
+    """The full JSON Object Format document for one traced session."""
+    return {
+        "traceEvents": export_trace_events(tracer),
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "tool": "repro.obs",
+            "runs": list(tracer.runs),
+            "requests_traced": len(tracer.completed),
+            "dropped_events": tracer.dropped_events,
+        },
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> dict:
+    """Export and write the trace; returns the written document."""
+    document = export_chrome_trace(tracer)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    return document
+
+
+# ---------------------------------------------------------------- validate --
+
+
+def validate_trace_events(events: List[dict]) -> List[str]:
+    """Check trace-event invariants; returns a list of problems
+    (empty = valid).
+
+    Checked: known phases, required keys, globally non-decreasing
+    ``ts`` (metadata exempt), balanced ``B``/``E`` per (pid, tid),
+    balanced async ``b``/``e`` per (pid, cat, id), non-negative ``X``
+    durations.
+    """
+    problems: List[str] = []
+    last_ts = None
+    slice_depth: Dict[Tuple[int, int], int] = {}
+    async_open: Dict[Tuple[int, str, str], int] = {}
+    for index, event in enumerate(events):
+        phase = event.get("ph")
+        if phase not in ALLOWED_PHASES:
+            problems.append(f"event {index}: unknown phase {phase!r}")
+            continue
+        if "pid" not in event or "tid" not in event:
+            problems.append(f"event {index}: missing pid/tid")
+            continue
+        if phase == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"event {index}: missing ts")
+            continue
+        if last_ts is not None and ts < last_ts:
+            problems.append(
+                f"event {index}: ts {ts} decreases (previous {last_ts})"
+            )
+        last_ts = ts
+        key = (event["pid"], event["tid"])
+        if phase == "B":
+            slice_depth[key] = slice_depth.get(key, 0) + 1
+        elif phase == "E":
+            depth = slice_depth.get(key, 0)
+            if depth <= 0:
+                problems.append(
+                    f"event {index}: E without open B on pid/tid {key}"
+                )
+            else:
+                slice_depth[key] = depth - 1
+        elif phase == "X":
+            if event.get("dur", 0) < 0:
+                problems.append(f"event {index}: negative X duration")
+        elif phase in ("b", "e"):
+            akey = (event["pid"], event.get("cat", ""),
+                    str(event.get("id")))
+            if phase == "b":
+                async_open[akey] = async_open.get(akey, 0) + 1
+            else:
+                open_count = async_open.get(akey, 0)
+                if open_count <= 0:
+                    problems.append(
+                        f"event {index}: async e without b for {akey}"
+                    )
+                else:
+                    async_open[akey] = open_count - 1
+    for key, depth in slice_depth.items():
+        if depth != 0:
+            problems.append(f"unclosed B slices on pid/tid {key}: {depth}")
+    for akey, count in async_open.items():
+        if count != 0:
+            problems.append(f"unclosed async span {akey}: {count}")
+    return problems
+
+
+def validate_chrome_trace(document: dict) -> List[str]:
+    """Validate a full trace document (the JSON Object Format)."""
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["document has no traceEvents list"]
+    return validate_trace_events(events)

@@ -45,6 +45,11 @@ class Hotspot:
     cumulative_s: float   # time including callees (cumtime)
 
 
+#: Bump when the JSON layout of :class:`ProfileReport` changes so CI
+#: consumers of ``BENCH_kernel.json`` can detect incompatible files.
+PROFILE_SCHEMA_VERSION = 1
+
+
 @dataclass
 class ProfileReport:
     """Everything one profiled experiment run produced."""
@@ -56,6 +61,8 @@ class ProfileReport:
     events_executed: int
     events_per_second: float
     hotspots: List[Hotspot] = field(default_factory=list)
+    schema_version: int = PROFILE_SCHEMA_VERSION
+    config_preset: str = ""  # HarnessScale.name the run resolved to
 
     def format_text(self) -> str:
         lines = [
@@ -123,7 +130,7 @@ def profile_experiment(experiment: str, scale: str = "quick",
     """
     if top < 1:
         raise ReproError("profile needs at least one hotspot row")
-    from repro.harness import EXPERIMENTS  # deferred: heavy import
+    from repro.harness import EXPERIMENTS, resolve_scale  # deferred: heavy
 
     try:
         runner = EXPERIMENTS[experiment]
@@ -162,4 +169,5 @@ def profile_experiment(experiment: str, scale: str = "quick",
         events_per_second=(events / wall_seconds
                            if wall_seconds > 0 else 0.0),
         hotspots=hotspots_from_stats(stats, top=top),
+        config_preset=resolve_scale(scale).name,
     )

@@ -24,6 +24,14 @@ class LatencyTracker:
         self._measuring = False
 
     def start_measurement(self) -> None:
+        """Open the measurement window.
+
+        Opening (or re-opening) the window discards previously recorded
+        samples — including warm-up samples slipped in via
+        :meth:`record_always` — so a restarted window never leaks data
+        from an earlier one.
+        """
+        self._reservoir = ExactReservoir() if self._exact else LogHistogram()
         self._measuring = True
 
     def stop_measurement(self) -> None:

@@ -68,19 +68,31 @@ def load_trace(source: Union[str, TextIO]) -> List[Step]:
     if isinstance(source, str):
         with open(source) as handle:
             return load_trace(handle)
-    first = source.readline().strip()
+    first = source.readline()
+    if first == "":
+        raise WorkloadError("empty trace file (expected header "
+                            f"{TRACE_HEADER!r})")
+    first = first.strip()
     if first != TRACE_HEADER:
         raise WorkloadError(f"not a repro trace (header {first!r})")
     steps: List[Step] = []
     for line_number, line in enumerate(source, start=2):
         line = line.strip()
         if not line or line.startswith("#"):
-            continue
+            continue  # blank/trailing newlines and comments are fine
         parts = line.split(",")
         if len(parts) != 3:
             raise WorkloadError(f"malformed trace line {line_number}: {line!r}")
         compute, page, write = parts
-        steps.append(Step(float(compute), int(page), write == "1"))
+        if write not in ("0", "1"):
+            raise WorkloadError(
+                f"malformed trace line {line_number}: is_write must be "
+                f"0 or 1, got {write!r}")
+        try:
+            steps.append(Step(float(compute), int(page), write == "1"))
+        except ValueError:
+            raise WorkloadError(
+                f"malformed trace line {line_number}: {line!r}") from None
     return steps
 
 

@@ -25,6 +25,7 @@ from typing import Deque, Optional
 
 from repro.config.system import SchedulingPolicy, UltConfig
 from repro.errors import ConfigurationError, ProtocolError
+from repro.obs.tracer import active as _tracer_active
 from repro.stats import CounterSet
 from repro.ult.thread import ThreadState, UserThread
 
@@ -40,6 +41,7 @@ class UltScheduler:
         self._new: Deque[UserThread] = deque()
         self._pending: Deque[UserThread] = deque()
         self.stats = CounterSet(name)
+        self._tracer = _tracer_active()
 
     # -- queue maintenance ---------------------------------------------------
 
@@ -120,6 +122,11 @@ class PriorityAgingScheduler(UltScheduler):
             # so the head is left pending and other work runs.
             self._pending.popleft()
             self.stats.add("aged_dispatches")
+            if self._tracer is not None:
+                self._tracer.instant(
+                    f"core{head.core_id}", "aged_dispatch", now,
+                    {"age_ns": round(head.pending_age(now), 1)},
+                )
             return head
         new = self._pop_new()
         if new is not None:
@@ -137,6 +144,11 @@ class PriorityAgingScheduler(UltScheduler):
         if head is not None and self.pending_full:
             self._pending.popleft()
             self.stats.add("forced_dispatches")
+            if self._tracer is not None:
+                self._tracer.instant(
+                    f"core{head.core_id}", "forced_dispatch", now,
+                    {"age_ns": round(head.pending_age(now), 1)},
+                )
             return head
         return None
 
@@ -183,6 +195,11 @@ class FifoScheduler(UltScheduler):
             # Saturated: drain the head, blocking on flash if needed.
             head = self._pending.popleft()
             self.stats.add("forced_dispatches")
+            if self._tracer is not None:
+                self._tracer.instant(
+                    f"core{head.core_id}", "forced_dispatch", now,
+                    {"age_ns": round(head.pending_age(now), 1)},
+                )
             return head
         # Ready pending jobs keep waiting: they are only seen at miss
         # points — the starvation the priority scheduler fixes.

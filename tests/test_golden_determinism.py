@@ -87,11 +87,24 @@ def golden() -> dict:
     return json.loads(GOLDEN_PATH.read_text())
 
 
+# Tracing must be invisible to the simulation (DESIGN.md §4d): every
+# golden cell is checked both untraced and with a full-sampling tracer
+# (including its telemetry sampler) enabled.
+@pytest.mark.parametrize("traced", [False, True], ids=["plain", "traced"])
 @pytest.mark.parametrize("spec", GOLDEN_SPECS,
                          ids=[spec.label() for spec in GOLDEN_SPECS])
-def test_results_bit_identical_to_golden(spec, golden):
+def test_results_bit_identical_to_golden(spec, traced, golden):
     recorded = golden[spec.label()]
-    actual = canonicalize(execute_spec(spec))
+    if traced:
+        from repro.obs import Tracer, disable, enable
+
+        enable(Tracer())
+        try:
+            actual = canonicalize(execute_spec(spec))
+        finally:
+            disable()
+    else:
+        actual = canonicalize(execute_spec(spec))
     for name in GOLDEN_FIELDS:
         assert actual[name] == recorded[name], (
             f"{spec.label()}: field {name!r} drifted: "

@@ -72,6 +72,15 @@ class TestProfileReport:
         assert data["events_per_second"] == 2000.0
         assert data["hotspots"][0]["function"] == "a.py:1(f)"
 
+    def test_json_carries_schema_stamp(self, tmp_path):
+        from repro.perf import PROFILE_SCHEMA_VERSION
+
+        path = tmp_path / "BENCH_kernel.json"
+        self._report().write_json(str(path))
+        data = json.loads(path.read_text())
+        assert data["schema_version"] == PROFILE_SCHEMA_VERSION
+        assert "config_preset" in data
+
 
 class TestProfileExperiment:
     def test_unknown_experiment_raises(self):
@@ -89,6 +98,11 @@ class TestProfileExperiment:
         assert report.total_calls > 0
         assert report.wall_seconds >= 0.0
         assert len(report.hotspots) <= 5
+
+    def test_report_is_stamped_with_config_preset(self):
+        report = profile_experiment("table1", top=1)
+        assert report.schema_version == 1
+        assert report.config_preset == "quick"
 
     def test_cache_env_is_restored(self):
         saved = os.environ.get("REPRO_CACHE")

@@ -136,6 +136,41 @@ class TestTrackers:
         assert tracker.count == 1
         assert tracker.p50() == 200.0
 
+    def test_record_always_ignores_window(self):
+        tracker = LatencyTracker()
+        tracker.record_always(100.0)  # no window open
+        tracker.start_measurement()
+        tracker.stop_measurement()
+        tracker.record_always(200.0)  # window closed
+        assert tracker.count == 1
+        assert tracker.p50() == 200.0
+
+    def test_restart_does_not_leak_prior_window(self):
+        tracker = LatencyTracker()
+        tracker.start_measurement()
+        tracker.record(100.0)
+        tracker.stop_measurement()
+        tracker.start_measurement()  # fresh window
+        tracker.record(200.0)
+        tracker.stop_measurement()
+        assert tracker.count == 1
+        assert tracker.p50() == 200.0
+
+    def test_start_measurement_discards_warmup_record_always(self):
+        tracker = LatencyTracker()
+        tracker.record_always(5.0)  # warmup debugging sample
+        tracker.start_measurement()
+        assert tracker.count == 0
+
+    def test_restart_resets_histogram_tracker_too(self):
+        tracker = LatencyTracker(exact=False)
+        tracker.start_measurement()
+        tracker.record(100.0)
+        tracker.start_measurement()
+        tracker.record(1000.0)
+        assert tracker.count == 1
+        assert tracker.mean() == pytest.approx(1000.0)
+
     def test_throughput_rate(self):
         tracker = ThroughputTracker()
         tracker.start_measurement(0.0)

@@ -60,6 +60,50 @@ class TestTraceRecorder:
             load_trace(bad)
 
 
+class TestLoadTraceEdgeCases:
+    HEADER = "# repro-trace-v1: compute_ns,page,is_write\n"
+
+    def test_empty_file_reports_missing_header(self):
+        with pytest.raises(WorkloadError, match="empty trace file"):
+            load_trace(io.StringIO(""))
+
+    def test_header_only_trace_loads_as_empty(self):
+        assert load_trace(io.StringIO(self.HEADER)) == []
+
+    def test_empty_recorder_round_trips(self):
+        workload = make_workload("arrayswap", 128, seed=1)
+        recorder = TraceRecorder(workload)
+        buffer = io.StringIO()
+        assert recorder.save(buffer) == 0
+        buffer.seek(0)
+        assert load_trace(buffer) == []
+
+    def test_trailing_newlines_tolerated(self):
+        buffer = io.StringIO(self.HEADER + "1.5,7,1\n\n\n")
+        steps = load_trace(buffer)
+        assert len(steps) == 1
+        assert steps[0].page == 7 and steps[0].is_write
+
+    def test_mid_file_comments_skipped(self):
+        buffer = io.StringIO(self.HEADER + "# a note\n1.0,2,0\n")
+        assert len(load_trace(buffer)) == 1
+
+    def test_wrong_field_count_names_line_number(self):
+        buffer = io.StringIO(self.HEADER + "1.0,2,0\n1,2\n")
+        with pytest.raises(WorkloadError, match="line 3"):
+            load_trace(buffer)
+
+    def test_non_numeric_field_names_line_number(self):
+        buffer = io.StringIO(self.HEADER + "1.0,2,0\nxx,2,0\n")
+        with pytest.raises(WorkloadError, match="line 3"):
+            load_trace(buffer)
+
+    def test_non_boolean_write_flag_rejected(self):
+        buffer = io.StringIO(self.HEADER + "1.0,2,yes\n")
+        with pytest.raises(WorkloadError, match="is_write"):
+            load_trace(buffer)
+
+
 class TestTraceWorkload:
     def test_replay_preserves_page_sequence(self, recorded):
         replay = TraceWorkload(recorded.steps, steps_per_job=10)
