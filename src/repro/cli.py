@@ -7,13 +7,21 @@ Commands:
 * ``run-all [--scale]``           — regenerate everything
 * ``trace-run <experiment>``      — traced run -> Chrome trace JSON
 * ``report [--telemetry]``        — full report (+ tail attribution)
+* ``bench-sweep``                 — sweep wall time, snapshots off vs on
+* ``cache clean``                 — wipe or LRU-prune ``.repro_cache/``
 * ``simulate``                    — one ad-hoc simulation run
 * ``workloads`` / ``configs``     — list registries
+
+Sweep commands accept ``--no-snapshot`` / ``--snapshot-dir PATH`` to
+control warm-state snapshot reuse (default: on, under the result-cache
+directory); the flags set the ``REPRO_SNAPSHOT`` / ``REPRO_SNAPSHOT_DIR``
+environment the harness reads.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -43,17 +51,29 @@ def _build_parser() -> argparse.ArgumentParser:
     jobs_help = ("worker processes for independent simulations "
                  "(default: $REPRO_JOBS or 1 = in-process)")
 
+    def add_snapshot_flags(sub) -> None:
+        sub.add_argument("--no-snapshot", action="store_true",
+                         help="disable warm-state snapshot reuse "
+                              "(rebuild datasets and re-warm caches "
+                              "for every run)")
+        sub.add_argument("--snapshot-dir", default=None, metavar="PATH",
+                         help="snapshot directory (default: "
+                              "$REPRO_SNAPSHOT_DIR or "
+                              ".repro_cache/snapshots)")
+
     run_parser = commands.add_parser("run", help="regenerate one artifact")
     run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
     run_parser.add_argument("--scale", default="quick",
                             choices=("quick", "full"))
     run_parser.add_argument("--jobs", type=int, default=None, help=jobs_help)
+    add_snapshot_flags(run_parser)
 
     all_parser = commands.add_parser("run-all",
                                      help="regenerate every artifact")
     all_parser.add_argument("--scale", default="quick",
                             choices=("quick", "full"))
     all_parser.add_argument("--jobs", type=int, default=None, help=jobs_help)
+    add_snapshot_flags(all_parser)
 
     report_parser = commands.add_parser(
         "report", help="regenerate everything into a report file "
@@ -67,6 +87,7 @@ def _build_parser() -> argparse.ArgumentParser:
                                help="also run traced simulations and "
                                     "append the tail-latency attribution "
                                     "(Table-2-style component breakdown)")
+    add_snapshot_flags(report_parser)
 
     trace_parser = commands.add_parser(
         "trace-run", help="regenerate one artifact with request-lifecycle "
@@ -102,6 +123,36 @@ def _build_parser() -> argparse.ArgumentParser:
                                 help="also write the report as JSON "
                                      "(e.g. BENCH_kernel.json for CI)")
 
+    sweep_parser = commands.add_parser(
+        "bench-sweep", help="time one sweep with snapshots off vs on "
+                            "(the harness-level bench series; writes "
+                            "BENCH_sweep.json for CI)")
+    sweep_parser.add_argument("experiment", nargs="?", default="fig1",
+                              choices=sorted(EXPERIMENTS))
+    sweep_parser.add_argument("--scale", default="quick",
+                              choices=("quick", "full"))
+    sweep_parser.add_argument("--json", dest="json_out", default=None,
+                              metavar="PATH",
+                              help="also write the bench as JSON "
+                                   "(e.g. BENCH_sweep.json for CI)")
+
+    cache_parser = commands.add_parser(
+        "cache", help="manage the result/snapshot cache directory")
+    cache_commands = cache_parser.add_subparsers(dest="cache_command",
+                                                 required=True)
+    clean_parser = cache_commands.add_parser(
+        "clean", help="delete cached results and snapshots (all of "
+                      "them, or LRU-prune to a byte cap)")
+    clean_parser.add_argument("--max-bytes", type=int, default=None,
+                              metavar="N",
+                              help="keep the most recently used entries "
+                                   "up to N bytes instead of deleting "
+                                   "everything")
+    clean_parser.add_argument("--dir", dest="cache_dir", default=None,
+                              metavar="PATH",
+                              help="cache directory (default: "
+                                   "$REPRO_CACHE_DIR or .repro_cache)")
+
     sim_parser = commands.add_parser("simulate", help="one ad-hoc run")
     sim_parser.add_argument("--config", default="astriflash",
                             choices=EVALUATED_CONFIG_NAMES)
@@ -116,6 +167,15 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "closed loop)")
     sim_parser.add_argument("--seed", type=int, default=42)
     return parser
+
+
+def _apply_snapshot_flags(args: argparse.Namespace) -> None:
+    """Translate --no-snapshot/--snapshot-dir into the environment the
+    harness (and its worker processes) reads."""
+    if getattr(args, "no_snapshot", False):
+        os.environ["REPRO_SNAPSHOT"] = "0"
+    if getattr(args, "snapshot_dir", None):
+        os.environ["REPRO_SNAPSHOT_DIR"] = args.snapshot_dir
 
 
 def cmd_experiments() -> int:
@@ -239,6 +299,40 @@ def cmd_profile(experiment: str, scale: str, top: int,
     return 0
 
 
+def cmd_bench_sweep(experiment: str, scale: str,
+                    json_out: Optional[str]) -> int:
+    from repro.perf import bench_sweep
+
+    bench = bench_sweep(experiment, scale=scale)
+    print(bench.format_text())
+    if json_out is not None:
+        bench.write_json(json_out)
+        print(f"wrote {json_out}")
+    return 0
+
+
+def cmd_cache_clean(max_bytes: Optional[int],
+                    cache_dir: Optional[str]) -> int:
+    from pathlib import Path
+
+    from repro.harness.parallel import default_cache_dir
+    from repro.snapshot import clear_cache, prune_cache
+
+    directory = Path(cache_dir) if cache_dir else default_cache_dir()
+    if not directory.is_dir():
+        print(f"cache: {directory} does not exist; nothing to clean")
+        return 0
+    if max_bytes is None:
+        files, freed = clear_cache(directory)
+        print(f"cache: removed {files} files ({freed:,} bytes) "
+              f"from {directory}")
+    else:
+        files, freed = prune_cache(directory, max_bytes=max_bytes)
+        print(f"cache: pruned {files} LRU files ({freed:,} bytes) from "
+              f"{directory}; capped at {max_bytes:,} bytes")
+    return 0
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     config = make_config(args.config)
     config.num_cores = args.cores
@@ -263,12 +357,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_workloads()
     if args.command == "configs":
         return cmd_configs()
+    _apply_snapshot_flags(args)
     if args.command == "run":
         return cmd_run(args.experiment, args.scale, args.jobs)
     if args.command == "run-all":
         return cmd_run_all(args.scale, args.jobs)
     if args.command == "report":
         return cmd_report(args.scale, args.out, args.jobs, args.telemetry)
+    if args.command == "bench-sweep":
+        return cmd_bench_sweep(args.experiment, args.scale, args.json_out)
+    if args.command == "cache":
+        return cmd_cache_clean(args.max_bytes, args.cache_dir)
     if args.command == "trace-run":
         return cmd_trace_run(args)
     if args.command == "profile":

@@ -16,7 +16,8 @@ configured :class:`~repro.config.PagingMode`:
 
 from __future__ import annotations
 
-from typing import List, Optional
+import hashlib
+from typing import Dict, List, Optional
 
 from repro.config.system import (
     PagingMode,
@@ -151,3 +152,58 @@ class Machine:
                 for step in job.steps:
                     insert(step.page, dirty=step.is_write)
                     steps_done += 1
+
+    # -- warm-state snapshot (repro.snapshot) -----------------------------------
+
+    def dump_warm_state(self) -> Dict[str, object]:
+        """Picklable dump of everything :meth:`warm_caches` mutates on
+        the machine: the DRAM tier (cache tags or resident set).
+
+        Only meaningful at the warm/measure boundary — warmup is
+        functional (the engine has not run), so the dump refuses a
+        machine whose clock has advanced.
+        """
+        if self.engine.now != 0 or self.engine.events_executed != 0:
+            raise ConfigurationError(
+                "warm-state dump after the engine has run; snapshots "
+                "capture the warm/measure boundary only"
+            )
+        # Keyed by tier, not paging mode: AstriFlash variants and
+        # Flash-Sync share the same hardware DRAM cache, so their warm
+        # state is interchangeable (repro.snapshot keys them together).
+        state: Dict[str, object] = {}
+        if self.dram_cache is not None:
+            state["dram_cache"] = self.dram_cache.organization.dump_state()
+        if self.pager is not None:
+            state["resident"] = self.pager.resident.dump_state()
+        return state
+
+    def load_warm_state(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`dump_warm_state` dump into this (freshly
+        built, never-run) machine, in place of :meth:`warm_caches`."""
+        if self.engine.now != 0 or self.engine.events_executed != 0:
+            raise ConfigurationError(
+                "warm-state restore after the engine has run"
+            )
+        if ("dram_cache" in state) != (self.dram_cache is not None):
+            raise ConfigurationError("warm-state tier mismatch (dram cache)")
+        if ("resident" in state) != (self.pager is not None):
+            raise ConfigurationError("warm-state tier mismatch (resident)")
+        if self.dram_cache is not None:
+            self.dram_cache.organization.load_state(state["dram_cache"])
+        if self.pager is not None:
+            self.pager.resident.load_state(state["resident"])
+
+    def state_fingerprint(self) -> str:
+        """Digest of the machine's warm-affected state plus engine
+        position.  Equal fingerprints after fresh-warm vs
+        snapshot-restore is the bit-identical contract the tests
+        enforce."""
+        parts: List[object] = [self.config.mode.name, self.engine.now,
+                               self.engine.events_executed]
+        if self.dram_cache is not None:
+            parts.append(sorted(
+                self.dram_cache.organization.dump_state().items()))
+        if self.pager is not None:
+            parts.append(sorted(self.pager.resident.dump_state().items()))
+        return hashlib.sha256(repr(parts).encode()).hexdigest()

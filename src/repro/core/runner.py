@@ -55,6 +55,18 @@ TIME_QUANTUM_NS = 1_000.0
 # consecutive losses means the set is thrashing pathologically.
 REPLAY_RACE_LIMIT = 8
 
+# Process-wide warmup-vs-measurement wall-clock split, accumulated
+# across every Runner in this process (mirrors
+# ``repro.sim.engine.total_events_executed``); the report footer prints
+# the delta around a report run.
+_WALL_TOTALS: Dict[str, float] = {"warm_seconds": 0.0,
+                                  "measure_seconds": 0.0}
+
+
+def wall_split_totals() -> Dict[str, float]:
+    """Cumulative in-process wall seconds spent warming vs measuring."""
+    return dict(_WALL_TOTALS)
+
 
 @dataclass
 class SimulationResult:
@@ -77,6 +89,14 @@ class SimulationResult:
     # second for this run (0.0 when the wall time was unmeasurably
     # small).  Not deterministic — excluded from golden comparisons.
     events_per_second: float = 0.0
+    # Wall-clock accounting for the run (warmup share vs total) and
+    # where the warm state came from: "fresh" (warm_caches ran),
+    # "snapshot" (restored via repro.snapshot), or "none" (no warm
+    # tier / warm disabled).  Wall fields are not deterministic —
+    # excluded from golden and serial-vs-parallel comparisons.
+    warm_wall_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    warm_source: str = "none"
 
     def describe(self) -> str:
         lines = [
@@ -106,6 +126,8 @@ class Runner:
         self.seed = config.scale.seed if seed is None else seed
         self._rng = random.Random(self.seed)
         self._warm = warm
+        self._warm_source = "none"
+        self._warm_wall_seconds = 0.0
 
         self.service_latency = LatencyTracker(name="service")
         self.response_latency = LatencyTracker(name="response")
@@ -153,16 +175,47 @@ class Runner:
         self._window_accesses = 0
         self._window_misses = 0
 
+    # ----------------------------------------------------------------- warm --
+
+    def warm(self, num_steps: Optional[int] = None) -> None:
+        """Warm the machine's DRAM tier once (idempotent).
+
+        Split out of :meth:`run` so :mod:`repro.snapshot` can capture
+        the warm/measure boundary; times itself into the process-wide
+        wall split.
+        """
+        if not self._warm:
+            return
+        self._warm = False
+        machine = self.machine
+        if machine.dram_cache is None and machine.pager is None:
+            return  # no warm tier (DRAM-only): stays "none"
+        start = time.perf_counter()
+        if num_steps is None:
+            machine.warm_caches(self.workload)
+        else:
+            machine.warm_caches(self.workload, num_steps=num_steps)
+        self._warm_wall_seconds = time.perf_counter() - start
+        self._warm_source = "fresh"
+        _WALL_TOTALS["warm_seconds"] += self._warm_wall_seconds
+
+    def mark_warm_restored(self, seconds: float) -> None:
+        """Record that warm state was loaded from a snapshot (called
+        by :func:`repro.snapshot.restore_warm`)."""
+        self._warm = False
+        self._warm_source = "snapshot"
+        self._warm_wall_seconds = seconds
+        _WALL_TOTALS["warm_seconds"] += seconds
+
     # ------------------------------------------------------------------ run --
 
     def run(self) -> SimulationResult:
         machine = self.machine
         engine = machine.engine
         scale = self.config.scale
-        wall_start = time.perf_counter()
 
-        if self._warm:
-            machine.warm_caches(self.workload)
+        self.warm()
+        wall_start = time.perf_counter()
 
         tracer = self._tracer
         if tracer is not None:
@@ -200,6 +253,7 @@ class Runner:
             tracer.end_run(engine.now)
 
         wall_seconds = time.perf_counter() - wall_start
+        _WALL_TOTALS["measure_seconds"] += wall_seconds
         return self._build_result(open_loop, wall_seconds)
 
     def _build_result(self, open_loop: bool,
@@ -257,6 +311,9 @@ class Runner:
             core_busy_fraction=busy_fraction,
             counters=counters,
             events_per_second=events_per_second,
+            warm_wall_seconds=self._warm_wall_seconds,
+            wall_seconds=wall_seconds + self._warm_wall_seconds,
+            warm_source=self._warm_source,
         )
 
     # ------------------------------------------------------------ load gen --

@@ -278,6 +278,83 @@ class DramCacheOrganization:
             self._hits.add(hits)
         return done
 
+    # -- warm-state snapshot (repro.snapshot) -----------------------------------
+
+    def dump_state(self) -> Dict[str, object]:
+        """Compact, picklable dump of the full tag state.
+
+        Ways are flattened set-major into parallel int lists (TDRAM
+        keeps tags alongside data in the row; this is the serialized
+        analogue): page (-1 = invalid), dirty flag, LRU timestamp,
+        access count, reserved_for (-1 = unreserved), plus the LRU
+        clock and the stats counters.
+        """
+        pages: List[int] = []
+        dirty: List[int] = []
+        last_touch: List[int] = []
+        access_count: List[int] = []
+        reserved_for: List[int] = []
+        for ways in self._sets:
+            for way in ways:
+                pages.append(-1 if way.page is None else way.page)
+                dirty.append(1 if way.dirty else 0)
+                last_touch.append(way.last_touch)
+                access_count.append(way.access_count)
+                reserved_for.append(-1 if way.reserved_for is None
+                                    else way.reserved_for)
+        return {
+            "num_sets": self.num_sets,
+            "associativity": self.associativity,
+            "pages": pages,
+            "dirty": dirty,
+            "last_touch": last_touch,
+            "access_count": access_count,
+            "reserved_for": reserved_for,
+            "clock": self._clock,
+            "stats": self.stats.as_dict(),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`dump_state` dump bit-identically.
+
+        Geometry must match the dump; the tag and reservation indexes
+        are rebuilt from the restored ways so the coherence invariants
+        hold by construction.
+        """
+        if (state["num_sets"] != self.num_sets
+                or state["associativity"] != self.associativity):
+            raise ConfigurationError(
+                f"warm-state geometry mismatch: snapshot is "
+                f"{state['num_sets']}x{state['associativity']}, cache is "
+                f"{self.num_sets}x{self.associativity}"
+            )
+        pages = state["pages"]
+        dirty = state["dirty"]
+        last_touch = state["last_touch"]
+        access_count = state["access_count"]
+        reserved_for = state["reserved_for"]
+        flat = 0
+        for set_index, ways in enumerate(self._sets):
+            tag_index = self._tag_index[set_index]
+            reserved_index = self._reserved_index[set_index]
+            tag_index.clear()
+            reserved_index.clear()
+            for way in ways:
+                page = pages[flat]
+                way.page = None if page == -1 else page
+                way.dirty = bool(dirty[flat])
+                way.last_touch = last_touch[flat]
+                way.access_count = access_count[flat]
+                reserved = reserved_for[flat]
+                way.reserved_for = None if reserved == -1 else reserved
+                if way.page is not None:
+                    tag_index[way.page] = way
+                if way.reserved_for is not None:
+                    reserved_index[way.reserved_for] = way
+                flat += 1
+        self._clock = state["clock"]
+        self.stats.restore(state["stats"])
+
     def occupancy(self) -> int:
         """Number of valid pages currently cached."""
         return sum(

@@ -31,6 +31,13 @@ CAPACITY_FRACTIONS: Sequence[float] = (
 )
 
 
+def _lru_warm_key(tkey: str, capacity: int) -> str:
+    """Snapshot key for the warmed LRU state of one (trace, capacity)
+    sweep point."""
+    from repro import snapshot as snap
+    return snap.generic_key("fig1-lru-warm", tkey, int(capacity))
+
+
 def lru_miss_ratio(pages: Iterable[int], capacity_pages: int) -> float:
     """Miss ratio of an LRU page cache over a page trace."""
     if capacity_pages < 1:
@@ -63,10 +70,38 @@ def workload_trace(workload_name: str, scale: HarnessScale,
     return pages[:num_steps]
 
 
+def workload_trace_cached(workload_name: str, scale: HarnessScale,
+                          num_steps: int, seed: int,
+                          snapshots: Optional[bool] = None,
+                          snapshot_dir=None) -> List[int]:
+    """:func:`workload_trace` memoized through the snapshot store —
+    trace generation (workload build + page stream) dominates the
+    fig1 sweep's wall time, and the trace depends only on the key
+    inputs."""
+    from repro import snapshot as snap
+
+    store = snap.resolve_store(snapshots, snapshot_dir)
+    if not store.enabled:
+        return workload_trace(workload_name, scale, num_steps, seed)
+    key = snap.trace_key(workload_name, scale.dataset_pages, seed,
+                         num_steps, scale.workload_kwargs())
+    cached = store.load(snap.TRACE_KIND, key)
+    if cached is not None:
+        return cached
+    trace = workload_trace(workload_name, scale, num_steps, seed)
+    store.store(snap.TRACE_KIND, key, trace)
+    return trace
+
+
 def run(scale="quick", steps_per_workload: int = 60_000,
-        seed: int = 42, jobs: Optional[int] = None) -> ExperimentResult:
+        seed: int = 42, jobs: Optional[int] = None,
+        snapshots: Optional[bool] = None,
+        snapshot_dir=None) -> ExperimentResult:
     """Regenerate Figure 1's two series."""
+    from repro import snapshot as snap
+
     scale = resolve_scale(scale)
+    store = snap.resolve_store(snapshots, snapshot_dir)
     result = ExperimentResult(
         experiment="fig1",
         title=("Fig. 1: miss ratio and required flash bandwidth "
@@ -76,32 +111,69 @@ def run(scale="quick", steps_per_workload: int = 60_000,
         notes=("Paper shape: miss rate flattens near 3% capacity; "
                "~60 GB/s of flash bandwidth at the knee."),
     )
-    # Per-workload trace generation is independent: fan it out.
-    trace_lists = map_tasks(
-        workload_trace,
-        [{"workload_name": name, "scale": scale,
-          "num_steps": steps_per_workload, "seed": seed}
-         for name in scale.workloads],
-        jobs=jobs,
-    )
-    traces = dict(zip(scale.workloads, trace_lists))
+    # Per-workload trace generation is independent: serve what the
+    # snapshot store already has, fan out only the misses.
+    traces = {}
+    if store.enabled:
+        for name in scale.workloads:
+            key = snap.trace_key(name, scale.dataset_pages, seed,
+                                 steps_per_workload,
+                                 scale.workload_kwargs())
+            cached = store.load(snap.TRACE_KIND, key)
+            if cached is not None:
+                traces[name] = cached
+    missing = [name for name in scale.workloads if name not in traces]
+    if missing:
+        trace_lists = map_tasks(
+            workload_trace_cached,
+            [{"workload_name": name, "scale": scale,
+              "num_steps": steps_per_workload, "seed": seed,
+              "snapshots": store.enabled,
+              "snapshot_dir": store.directory}
+             for name in missing],
+            jobs=jobs,
+        )
+        traces.update(zip(missing, trace_lists))
+    # Keep the original (scale.workloads) iteration order regardless of
+    # which traces came from the store.
+    traces = {name: traces[name] for name in scale.workloads}
     # Warm half the trace, measure on the second half so the cold-start
-    # misses do not pollute the steady-state ratio.
+    # misses do not pollute the steady-state ratio.  The warmed LRU
+    # state per (trace, capacity) point is itself memoized: the key
+    # order of the OrderedDict *is* the full LRU state, so restoring it
+    # is bit-identical to replaying the warm half.
     for fraction in CAPACITY_FRACTIONS:
         capacity = max(1, int(scale.dataset_pages * fraction))
         ratios = []
-        for trace in traces.values():
+        for name, trace in traces.items():
             split = len(trace) // 2
             cache: "OrderedDict[int, None]" = OrderedDict()
             move_to_end = cache.move_to_end
             popitem = cache.popitem
-            for page in trace[:split]:
-                if page in cache:
-                    move_to_end(page)
-                else:
-                    if len(cache) >= capacity:
-                        popitem(last=False)
+            warm_key = None
+            warm_pages = None
+            if store.enabled:
+                warm_key = _lru_warm_key(
+                    snap.trace_key(name, scale.dataset_pages, seed,
+                                   steps_per_workload,
+                                   scale.workload_kwargs()),
+                    capacity,
+                )
+                warm_pages = store.load(snap.WARM_KIND, warm_key)
+            if warm_pages is not None:
+                for page in warm_pages:
                     cache[page] = None
+            else:
+                for page in trace[:split]:
+                    if page in cache:
+                        move_to_end(page)
+                    else:
+                        if len(cache) >= capacity:
+                            popitem(last=False)
+                        cache[page] = None
+                if warm_key is not None:
+                    store.store(snap.WARM_KIND, warm_key,
+                                list(cache.keys()))
             hits = misses = 0
             for page in trace[split:]:
                 if page in cache:

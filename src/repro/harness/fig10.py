@@ -24,13 +24,16 @@ LOAD_POINTS: Sequence[float] = (0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 0.98)
 
 def run(scale="quick", seed: int = 42, workload_name: str = "tatp",
         load_points: Sequence[float] = LOAD_POINTS,
-        jobs: Optional[int] = None) -> ExperimentResult:
+        jobs: Optional[int] = None,
+        snapshots: Optional[bool] = None,
+        snapshot_dir=None) -> ExperimentResult:
     """Regenerate Figure 10's two curves."""
     scale = resolve_scale(scale)
     # DRAM-only saturation throughput defines the x-axis normalization;
     # its mean service time defines the y-axis normalization.
     saturation = run_spec(
-        RunSpec("dram-only", workload_name, scale, seed=seed), jobs=jobs
+        RunSpec("dram-only", workload_name, scale, seed=seed), jobs=jobs,
+        snapshots=snapshots, snapshot_dir=snapshot_dir,
     )
     max_rate = saturation.throughput_jobs_per_s
     service_norm = saturation.service_mean_ns
@@ -55,7 +58,9 @@ def run(scale="quick", seed: int = 42, workload_name: str = "tatp",
         )
         for load, config_name in points
     ]
-    outcomes = dict(zip(points, run_specs(specs, jobs=jobs)))
+    outcomes = dict(zip(points, run_specs(specs, jobs=jobs,
+                                          snapshots=snapshots,
+                                          snapshot_dir=snapshot_dir)))
     for load in load_points:
         row = [load]
         for config_name in ("dram-only", "astriflash"):

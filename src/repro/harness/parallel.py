@@ -28,6 +28,7 @@ figure/table modules build on:
 from __future__ import annotations
 
 import dataclasses
+import functools
 import hashlib
 import os
 import pickle
@@ -49,7 +50,7 @@ from typing import (
 from repro.errors import ReproError
 from repro.harness.common import HarnessScale, build_config, resolve_scale
 from repro.core import Runner
-from repro.workloads import PoissonArrivals, make_workload
+from repro.workloads import PoissonArrivals
 
 # Bump manually on semantic changes that the source digest cannot see
 # (e.g. a pickle-format change in SimulationResult).
@@ -149,19 +150,74 @@ def _apply_config_override(config, path: str, value) -> None:
                 dataclasses.replace(parent, **{parts[-1]: value}))
 
 
-def execute_spec(spec: RunSpec):
-    """Run one spec to a ``SimulationResult`` (mirrors the serial path
-    of ``run_simulation`` so results match bit-for-bit)."""
+def _spec_parts(spec: RunSpec):
+    """Resolve a spec into its (config, workload kwargs, scale) parts —
+    shared by execution and snapshot-key computation."""
     scale = resolve_scale(spec.scale)
     config = build_config(spec.config_name, scale)
     for path, value in spec.config_overrides:
         _apply_config_override(config, path, value)
     kwargs = scale.workload_kwargs()
     kwargs.update(dict(spec.workload_overrides))
-    workload = make_workload(spec.workload_name, scale.dataset_pages,
-                             seed=spec.seed, **kwargs)
+    return config, kwargs, scale
+
+
+def _spec_warm_key(spec: RunSpec) -> Optional[str]:
+    """The spec's warm-state snapshot key (None = no warm state)."""
+    from repro import snapshot as snap
+
+    config, kwargs, scale = _spec_parts(spec)
+    return snap.warm_key(config, spec.workload_name, spec.seed, kwargs,
+                         dataset_pages=scale.dataset_pages)
+
+
+def _prepare_runner(spec: RunSpec, store) -> Runner:
+    """Build the :class:`Runner` for one spec, warm state included.
+
+    With snapshots enabled the dataset build is memoized, and the
+    warm/measure-boundary state is restored from the store when the
+    spec's warm key is already captured — bit-identical to a fresh
+    ``machine.warm_caches()`` — or captured for the rest of the sweep
+    otherwise.
+    """
+    from repro import snapshot as snap
+
+    config, kwargs, scale = _spec_parts(spec)
     arrivals = _build_arrivals(spec.arrivals)
-    return Runner(config, workload, arrivals=arrivals).run()
+    key = None
+    if store.enabled:
+        key = snap.warm_key(config, spec.workload_name, spec.seed, kwargs,
+                            dataset_pages=scale.dataset_pages)
+        if key is not None:
+            payload = store.load(snap.WARM_KIND, key)
+            if payload is not None:
+                runner = Runner(config, payload["workload"],
+                                arrivals=arrivals, warm=False)
+                snap.restore_warm(runner, payload)
+                return runner
+    workload = snap.build_workload(spec.workload_name, scale.dataset_pages,
+                                   spec.seed, store=store, **kwargs)
+    runner = Runner(config, workload, arrivals=arrivals)
+    if key is not None:
+        snap.capture_warm(runner, key, store)
+    return runner
+
+
+def execute_spec(spec: RunSpec, snapshots: Optional[bool] = None,
+                 snapshot_dir=None):
+    """Run one spec to a ``SimulationResult`` (mirrors the serial path
+    of ``run_simulation`` so results match bit-for-bit).
+
+    ``snapshots``/``snapshot_dir`` select the warm-state snapshot
+    policy (default: the ``REPRO_SNAPSHOT``/``REPRO_SNAPSHOT_DIR``
+    environment); both the fresh-warm and snapshot-restore paths
+    produce bit-identical results — the golden determinism test pins
+    this.
+    """
+    from repro import snapshot as snap
+
+    store = snap.resolve_store(snapshots, snapshot_dir)
+    return _prepare_runner(spec, store).run()
 
 
 # ------------------------------------------------------------ result cache --
@@ -185,20 +241,11 @@ def default_cache_dir() -> Path:
 
 def _source_digest() -> str:
     """Digest of every ``repro`` source file: any simulator change
-    invalidates cached results without manual version bumps."""
-    global _SOURCE_DIGEST
-    if _SOURCE_DIGEST is None:
-        import repro
-        root = Path(repro.__file__).resolve().parent
-        digest = hashlib.sha256()
-        for path in sorted(root.rglob("*.py")):
-            digest.update(str(path.relative_to(root)).encode())
-            digest.update(path.read_bytes())
-        _SOURCE_DIGEST = digest.hexdigest()[:16]
-    return _SOURCE_DIGEST
-
-
-_SOURCE_DIGEST: Optional[str] = None
+    invalidates cached results without manual version bumps.  (The
+    digest itself lives in :mod:`repro.snapshot`, which shares it with
+    the snapshot-file headers.)"""
+    from repro.snapshot import source_digest
+    return source_digest()
 
 
 def _version_stamp() -> str:
@@ -244,7 +291,7 @@ def cache_load(spec: RunSpec, cache_dir: Path):
     path = cache_dir / f"{spec_key(spec)}.pkl"
     try:
         with open(path, "rb") as handle:
-            return pickle.load(handle)
+            result = pickle.load(handle)
     except OSError:
         return None
     except Exception:
@@ -254,6 +301,13 @@ def cache_load(spec: RunSpec, cache_dir: Path):
         except OSError:
             pass
         return None
+    # Touch on hit: file mtime order is the LRU order the byte-cap
+    # pruner evicts in.
+    try:
+        os.utime(path)
+    except OSError:
+        pass
+    return result
 
 
 def cache_store(spec: RunSpec, result, cache_dir: Path) -> None:
@@ -268,9 +322,32 @@ def cache_store(spec: RunSpec, result, cache_dir: Path) -> None:
             tmp.unlink()
         except OSError:
             pass
+        return
+    # Keep the cache tree (results + snapshots) under the byte cap.
+    from repro.snapshot import prune_cache
+    prune_cache(cache_dir, keep=(path,))
 
 
 # ----------------------------------------------------------------- fan-out --
+
+
+def _pool_context():
+    """The multiprocessing context for worker pools.
+
+    ``fork`` is requested explicitly (not left to the platform
+    default): forked workers inherit the parent's in-process snapshot
+    memo, so pre-warmed state reaches them with zero file I/O.  On
+    platforms without ``fork`` (Windows; macOS where it is unreliable
+    with threads) this falls back to the platform default (``spawn``),
+    where workers restore warm state from the snapshot *files* instead
+    — same results, one pickle read per group member.
+    """
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context()
 
 
 def _run_in_pool(func: Callable, items: Sequence,
@@ -283,7 +360,8 @@ def _run_in_pool(func: Callable, items: Sequence,
     """
     try:
         from concurrent.futures import ProcessPoolExecutor
-        executor = ProcessPoolExecutor(max_workers=jobs)
+        executor = ProcessPoolExecutor(max_workers=jobs,
+                                       mp_context=_pool_context())
     except Exception:
         return None
     outcomes: List = [None] * len(items)
@@ -309,24 +387,57 @@ def _log(message: str) -> None:
         print(f"[repro.parallel] {message}", file=sys.stderr)
 
 
+def _prewarm_groups(specs: Sequence[RunSpec], pending: Sequence[int],
+                    store) -> None:
+    """Warm each snapshot-key group once in the parent before fanning
+    out, so workers restore instead of re-warming.
+
+    Only groups of two or more pending specs whose key is not already
+    captured are warmed here — singletons capture inside their own
+    worker at no extra cost.  Forked workers inherit the resulting
+    in-process memo; spawned workers read the snapshot files.
+    """
+    from repro import snapshot as snap
+
+    groups: Dict[str, List[int]] = {}
+    for index in pending:
+        key = _spec_warm_key(specs[index])
+        if key is not None:
+            groups.setdefault(key, []).append(index)
+    for key, members in groups.items():
+        if len(members) < 2 or store.contains(snap.WARM_KIND, key):
+            continue
+        # Builds, warms, and captures; the runner itself is discarded.
+        _prepare_runner(specs[members[0]], store)
+
+
 def run_specs(specs: Sequence[RunSpec], jobs: Optional[int] = None,
               cache: Optional[bool] = None,
               cache_dir: Optional[Union[str, Path]] = None,
-              report: Optional[Dict[str, int]] = None) -> List:
+              report: Optional[Dict[str, int]] = None,
+              snapshots: Optional[bool] = None,
+              snapshot_dir: Optional[Union[str, Path]] = None) -> List:
     """Execute a batch of run specs, results in spec order.
 
     ``jobs`` defaults to ``REPRO_JOBS`` (1 = in-process).  Cached
     results are reused when ``cache`` is enabled (default, unless
-    ``REPRO_CACHE=0``).  Each spec that crashes its worker is retried
-    once in-process; a second failure raises :class:`ParallelRunError`.
-    ``report``, if given, is filled with batch statistics
-    (``cache_hits`` / ``executed`` / ``retried`` / ``jobs``).
+    ``REPRO_CACHE=0``).  Warm-state snapshots (``snapshots`` /
+    ``snapshot_dir``, default per ``REPRO_SNAPSHOT`` /
+    ``REPRO_SNAPSHOT_DIR``) group pending specs by warm key and warm
+    each group once in the parent before the pool fans out.  Each spec
+    that crashes its worker is retried once in-process; a second
+    failure raises :class:`ParallelRunError`.  ``report``, if given,
+    is filled with batch statistics (``cache_hits`` / ``executed`` /
+    ``retried`` / ``jobs``).
     """
+    from repro import snapshot as snap
+
     specs = list(specs)
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
     use_cache = cache_enabled() if cache is None else cache
     directory = Path(cache_dir) if cache_dir is not None \
         else default_cache_dir()
+    store = snap.resolve_store(snapshots, snapshot_dir)
 
     results: List = [None] * len(specs)
     pending: List[int] = []
@@ -347,17 +458,25 @@ def run_specs(specs: Sequence[RunSpec], jobs: Optional[int] = None,
     if pending:
         outcomes: Optional[List] = None
         if jobs > 1 and len(pending) > 1:
+            if store.enabled:
+                _prewarm_groups(specs, pending, store)
+            worker = functools.partial(execute_spec,
+                                       snapshots=store.enabled,
+                                       snapshot_dir=store.directory)
             outcomes = _run_in_pool(
-                execute_spec, [specs[i] for i in pending],
+                worker, [specs[i] for i in pending],
                 min(jobs, len(pending)),
             )
         if outcomes is None:
             # In-process path: jobs == 1, a single spec, or no usable
-            # process pool on this platform.
+            # process pool on this platform.  The snapshot memo already
+            # gives in-process group sharing, no pre-warm pass needed.
             outcomes = []
             for index in pending:
                 try:
-                    outcomes.append(execute_spec(specs[index]))
+                    outcomes.append(
+                        execute_spec(specs[index], snapshots=store.enabled,
+                                     snapshot_dir=store.directory))
                 except Exception as exc:
                     outcomes.append(exc)
         for slot, index in enumerate(pending):
@@ -368,7 +487,9 @@ def run_specs(specs: Sequence[RunSpec], jobs: Optional[int] = None,
                 # failures and rescues innocent casualties.
                 retried += 1
                 try:
-                    outcome = execute_spec(specs[index])
+                    outcome = execute_spec(specs[index],
+                                           snapshots=store.enabled,
+                                           snapshot_dir=store.directory)
                 except Exception as exc:
                     raise ParallelRunError(specs[index], exc) from exc
             results[index] = outcome

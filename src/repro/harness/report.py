@@ -148,7 +148,12 @@ def generate(experiments: Mapping[str, Callable[..., ExperimentResult]],
     reuse the result cache, so regenerating a report after regenerating
     a figure costs only the runs not already cached.
     """
+    from repro import snapshot
+    from repro.core.runner import wall_split_totals
+
     events_before = total_events_executed()
+    split_before = wall_split_totals()
+    snap_before = snapshot.summary()
     wall_start = time.perf_counter()
     results = [runner(scale=scale, jobs=jobs)
                for runner in experiments.values()]
@@ -158,9 +163,44 @@ def generate(experiments: Mapping[str, Callable[..., ExperimentResult]],
         # Kernel throughput footer: in-process events only, so worker
         # processes (jobs > 1) and cache hits leave it at zero — it is
         # telemetry for the simulator, not a result.
-        footer = ""
+        lines = []
         if events and wall_seconds > 0:
-            footer = (f"kernel: {events:,} events in {wall_seconds:.1f} s "
-                      f"({events / wall_seconds:,.0f} events/s in-process)")
-        write_report(results, out, header=header, footer=footer)
+            lines.append(
+                f"kernel: {events:,} events in {wall_seconds:.1f} s "
+                f"({events / wall_seconds:,.0f} events/s in-process)")
+        lines.append(_warmup_footer(split_before, snap_before))
+        write_report(results, out, header=header,
+                     footer="\n".join(line for line in lines if line))
     return results
+
+
+def _warmup_footer(split_before: Dict[str, float],
+                   snap_before: Dict[str, float]) -> str:
+    """Warmup-vs-measurement wall split and snapshot hit/miss counts
+    accumulated in this process since ``generate`` started.
+
+    Like the kernel line, this covers in-process runs only: with
+    ``jobs > 1`` the warm/measure seconds land in the workers, but the
+    snapshot *store* counters (captures in the pre-warm pass, stale
+    rejections) still show up here.
+    """
+    from repro import snapshot
+    from repro.core.runner import wall_split_totals
+
+    split = wall_split_totals()
+    warm = split["warm_seconds"] - split_before.get("warm_seconds", 0.0)
+    measure = (split["measure_seconds"]
+               - split_before.get("measure_seconds", 0.0))
+    snap = snapshot.summary()
+
+    def delta(key: str) -> int:
+        return int(snap.get(key, 0.0) - snap_before.get(key, 0.0))
+
+    restored = delta("warm_restores")
+    fresh = delta("warm_captures")
+    stale = delta("stale_rejected")
+    if warm == 0.0 and measure == 0.0 and not (restored or fresh or stale):
+        return ""
+    return (f"warmup: {warm:.2f} s vs measurement {measure:.2f} s "
+            f"in-process; snapshots: {restored} restored, "
+            f"{fresh} freshly warmed, {stale} stale rejected")

@@ -63,6 +63,32 @@ class ResidentSetManager:
         self.stats.add("insertions")
         return victim
 
+    # -- warm-state snapshot (repro.snapshot) ---------------------------------
+
+    def dump_state(self) -> dict:
+        """Picklable dump: the ``(page, dirty)`` pairs in LRU order
+        (OrderedDict insertion order *is* the eviction order) plus the
+        stats counters."""
+        return {
+            "capacity": self.capacity,
+            "resident": [(page, dirty)
+                         for page, dirty in self._resident.items()],
+            "stats": self.stats.as_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`dump_state` dump bit-identically."""
+        if state["capacity"] != self.capacity:
+            raise ConfigurationError(
+                f"warm-state capacity mismatch: snapshot has "
+                f"{state['capacity']} frames, resident set has "
+                f"{self.capacity}"
+            )
+        self._resident.clear()
+        for page, dirty in state["resident"]:
+            self._resident[page] = dirty
+        self.stats.restore(state["stats"])
+
     def fault_ratio(self) -> float:
         total = self.stats["hits"] + self.stats["faults"]
         if total == 0:

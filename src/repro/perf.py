@@ -141,8 +141,13 @@ def profile_experiment(experiment: str, scale: str = "quick",
         ) from None
 
     profiler = profiler if profiler is not None else cProfile.Profile()
-    saved_cache = os.environ.get("REPRO_CACHE")
+    # Disable both caching layers for the duration: a result-cache hit
+    # would profile pickle loads, and a warm-state snapshot restore
+    # would hide the warmup the profiler is supposed to attribute.
+    saved_env = {name: os.environ.get(name)
+                 for name in ("REPRO_CACHE", "REPRO_SNAPSHOT")}
     os.environ["REPRO_CACHE"] = "0"
+    os.environ["REPRO_SNAPSHOT"] = "0"
     events_before = total_events_executed()
     wall_start = time.perf_counter()
     try:
@@ -152,10 +157,11 @@ def profile_experiment(experiment: str, scale: str = "quick",
         finally:
             profiler.disable()
     finally:
-        if saved_cache is None:
-            del os.environ["REPRO_CACHE"]
-        else:
-            os.environ["REPRO_CACHE"] = saved_cache
+        for name, value in saved_env.items():
+            if value is None:
+                del os.environ[name]
+            else:
+                os.environ[name] = value
     wall_seconds = time.perf_counter() - wall_start
     events = total_events_executed() - events_before
 
@@ -169,5 +175,118 @@ def profile_experiment(experiment: str, scale: str = "quick",
         events_per_second=(events / wall_seconds
                            if wall_seconds > 0 else 0.0),
         hotspots=hotspots_from_stats(stats, top=top),
+        config_preset=resolve_scale(scale).name,
+    )
+
+
+# ------------------------------------------------------------- sweep bench --
+
+#: Bump when the JSON layout of :class:`SweepBench` changes so CI
+#: consumers of ``BENCH_sweep.json`` can detect incompatible files.
+SWEEP_SCHEMA_VERSION = 1
+
+
+@dataclass
+class SweepBench:
+    """End-to-end sweep wall time, snapshots off vs on.
+
+    The harness-level companion to the kernel series: kernel events/s
+    tracks the event loop, this tracks what :mod:`repro.snapshot`
+    amortizes across a sweep (dataset builds, cache warmup).  Three
+    timings: snapshots off, the cold on-run that also *builds* the
+    snapshots, and the warm on-run that reuses them.  ``speedup`` is
+    off/on — the figure the acceptance bar (>= 1.3x) reads.
+    """
+
+    experiment: str
+    scale: str
+    wall_seconds_snapshots_off: float
+    wall_seconds_snapshots_cold: float
+    wall_seconds_snapshots_on: float
+    speedup: float
+    schema_version: int = SWEEP_SCHEMA_VERSION
+    config_preset: str = ""
+
+    def format_text(self) -> str:
+        return "\n".join([
+            f"sweep bench: {self.experiment} (scale={self.scale})",
+            f"  snapshots off   {self.wall_seconds_snapshots_off:.3f} s",
+            f"  snapshots cold  {self.wall_seconds_snapshots_cold:.3f} s "
+            "(building snapshot files)",
+            f"  snapshots on    {self.wall_seconds_snapshots_on:.3f} s",
+            f"  speedup         {self.speedup:.2f}x (off/on)",
+        ])
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2)
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json() + "\n")
+
+
+def bench_sweep(experiment: str = "fig1", scale: str = "quick",
+                snapshot_dir: Optional[str] = None) -> SweepBench:
+    """Time one experiment sweep with snapshots off, cold, and on.
+
+    The result cache is disabled throughout (it would short-circuit the
+    runs being timed) and everything stays in-process so the three
+    timings are comparable.  Snapshots go to a throwaway directory
+    (``snapshot_dir`` or a fresh temp dir) — the bench must not be
+    contaminated by, or contaminate, a real snapshot store.
+    """
+    import shutil
+    import tempfile
+
+    from repro import snapshot
+    from repro.harness import EXPERIMENTS, resolve_scale  # deferred: heavy
+
+    try:
+        runner = EXPERIMENTS[experiment]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ReproError(
+            f"unknown experiment {experiment!r}; known: {known}"
+        ) from None
+
+    own_tmp = snapshot_dir is None
+    directory = snapshot_dir if snapshot_dir is not None \
+        else tempfile.mkdtemp(prefix="repro-bench-sweep-")
+    # Policy via environment so every experiment participates, whether
+    # or not its run() threads explicit snapshot kwargs.
+    saved_env = {name: os.environ.get(name)
+                 for name in ("REPRO_CACHE", "REPRO_SNAPSHOT",
+                              "REPRO_SNAPSHOT_DIR")}
+    os.environ["REPRO_CACHE"] = "0"
+    os.environ["REPRO_SNAPSHOT_DIR"] = str(directory)
+    try:
+        def timed(snapshots_on: bool) -> float:
+            os.environ["REPRO_SNAPSHOT"] = "1" if snapshots_on else "0"
+            start = time.perf_counter()
+            runner(scale=scale, jobs=1)
+            return time.perf_counter() - start
+
+        t_off = timed(False)
+        t_cold = timed(True)
+        # Drop the in-process memo so the warm run exercises the real
+        # restore path (memo repopulates from the snapshot files).
+        snapshot.SnapshotStore.clear_memo()
+        t_on = timed(True)
+    finally:
+        for name, value in saved_env.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+        if own_tmp:
+            shutil.rmtree(directory, ignore_errors=True)
+
+    return SweepBench(
+        experiment=experiment,
+        scale=scale,
+        wall_seconds_snapshots_off=t_off,
+        wall_seconds_snapshots_cold=t_cold,
+        wall_seconds_snapshots_on=t_on,
+        speedup=(t_off / t_on if t_on > 0 else 0.0),
         config_preset=resolve_scale(scale).name,
     )

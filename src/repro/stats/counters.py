@@ -112,6 +112,26 @@ class CounterSet:
         for key, cell in other._cells.items():
             self.add(key, cell[0])
 
+    def restore(self, values: Dict[str, float]) -> None:
+        """Overwrite the counters with a snapshot's ``as_dict()`` dump.
+
+        Existing cells are updated in place (bound :class:`Counter`
+        handles stay coherent); missing keys are created; extras are
+        dropped.  Intended for *freshly constructed* objects only —
+        once a handle has cached a cell, dropping its key would orphan
+        it, so snapshot restore always targets new component instances
+        whose handles have not fired yet.
+        """
+        for key in list(self._cells):
+            if key not in values:
+                del self._cells[key]
+        for key, value in values.items():
+            cell = self._cells.get(key)
+            if cell is None:
+                self._cells[key] = [value]
+            else:
+                cell[0] = value
+
     def __repr__(self) -> str:
         inner = ", ".join(
             f"{k}={v[0]:g}" for k, v in sorted(self._cells.items())

@@ -1,0 +1,24 @@
+"""Shared test fixtures.
+
+Warm-state snapshots (repro.snapshot) default to ``.repro_cache/`` in
+the working directory; the suite points them at a session-scoped temp
+directory instead so test runs stay hermetic and leave no files behind.
+Within the session the store still operates normally — tests exercise
+both the capture and restore paths.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _session_snapshot_dir(tmp_path_factory):
+    previous = os.environ.get("REPRO_SNAPSHOT_DIR")
+    os.environ["REPRO_SNAPSHOT_DIR"] = str(
+        tmp_path_factory.mktemp("snapshots"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_SNAPSHOT_DIR", None)
+    else:
+        os.environ["REPRO_SNAPSHOT_DIR"] = previous

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import os
+
 import pytest
 
 from repro.cli import main
@@ -57,6 +59,61 @@ class TestRunCommands:
     def test_no_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestSnapshotFlags:
+    def test_no_snapshot_sets_env(self, capsys, monkeypatch):
+        # setenv first so monkeypatch restores the pre-test value after
+        # main() mutates os.environ directly.
+        monkeypatch.setenv("REPRO_SNAPSHOT", "1")
+        assert main(["run", "fig3", "--no-snapshot"]) == 0
+        assert os.environ.get("REPRO_SNAPSHOT") == "0"
+
+    def test_snapshot_dir_sets_env(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SNAPSHOT_DIR",
+                           os.environ.get("REPRO_SNAPSHOT_DIR", ""))
+        target = str(tmp_path / "snaps")
+        assert main(["run", "fig3", "--snapshot-dir", target]) == 0
+        assert os.environ.get("REPRO_SNAPSHOT_DIR") == target
+
+
+class TestCacheCommand:
+    def test_cache_clean_missing_dir(self, tmp_path, capsys):
+        missing = tmp_path / "nope"
+        assert main(["cache", "clean", "--dir", str(missing)]) == 0
+        assert "does not exist" in capsys.readouterr().out
+
+    def test_cache_clean_removes_files(self, tmp_path, capsys):
+        (tmp_path / "a.snap").write_bytes(b"x" * 10)
+        (tmp_path / "b.pkl").write_bytes(b"y" * 10)
+        assert main(["cache", "clean", "--dir", str(tmp_path)]) == 0
+        assert "removed 2 files" in capsys.readouterr().out
+        assert list(tmp_path.iterdir()) == []
+
+    def test_cache_clean_max_bytes_prunes_lru(self, tmp_path, capsys):
+        old = tmp_path / "old.snap"
+        old.write_bytes(b"x" * 100)
+        os.utime(old, (1_000_000, 1_000_000))
+        new = tmp_path / "new.snap"
+        new.write_bytes(b"y" * 100)
+        assert main(["cache", "clean", "--dir", str(tmp_path),
+                     "--max-bytes", "100"]) == 0
+        assert "pruned 1" in capsys.readouterr().out
+        assert new.exists() and not old.exists()
+
+
+class TestBenchSweepCommand:
+    def test_bench_sweep_writes_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_sweep.json"
+        assert main(["bench-sweep", "fig1", "--scale", "quick",
+                     "--json", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "speedup" in printed
+        data = json.loads(out.read_text())
+        assert data["experiment"] == "fig1"
+        assert data["speedup"] > 0
 
 
 class TestReportCommand:
