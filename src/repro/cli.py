@@ -8,6 +8,7 @@ Commands:
 * ``trace-run <experiment>``      — traced run -> Chrome trace JSON
 * ``report [--telemetry]``        — full report (+ tail attribution)
 * ``bench-sweep``                 — sweep wall time, snapshots off vs on
+* ``chaos <experiment>``          — fault-injection degradation curves
 * ``cache clean``                 — wipe or LRU-prune ``.repro_cache/``
 * ``simulate``                    — one ad-hoc simulation run
 * ``workloads`` / ``configs``     — list registries
@@ -135,6 +136,34 @@ def _build_parser() -> argparse.ArgumentParser:
                               metavar="PATH",
                               help="also write the bench as JSON "
                                    "(e.g. BENCH_sweep.json for CI)")
+
+    chaos_parser = commands.add_parser(
+        "chaos", help="sweep injected flash fault rates (RBER) and "
+                      "report throughput/p99 degradation curves per "
+                      "preset; writes BENCH_chaos.json for CI")
+    chaos_parser.add_argument("experiment", nargs="?", default="fig9",
+                              choices=sorted(EXPERIMENTS))
+    chaos_parser.add_argument("--scale", default="quick",
+                              choices=("quick", "full"))
+    chaos_parser.add_argument("--rber-sweep", default=None,
+                              metavar="P0,P1,...",
+                              help="comma-separated RBER sweep points "
+                                   "(default 0,2e-3,4e-3,8e-3; 0 = "
+                                   "faults-disabled baseline)")
+    chaos_parser.add_argument("--workload", default=None,
+                              choices=EVALUATED_WORKLOADS,
+                              help="workload to sweep (default: tatp "
+                                   "when the scale includes it)")
+    chaos_parser.add_argument("--fault-seed", type=int, default=0xF1A5,
+                              help="fault-plan RNG seed (fixed seed => "
+                                   "identical curves)")
+    chaos_parser.add_argument("--jobs", type=int, default=None,
+                              help=jobs_help)
+    chaos_parser.add_argument("--json", dest="json_out", default=None,
+                              metavar="PATH",
+                              help="also write the curves as JSON "
+                                   "(e.g. BENCH_chaos.json for CI)")
+    add_snapshot_flags(chaos_parser)
 
     cache_parser = commands.add_parser(
         "cache", help="manage the result/snapshot cache directory")
@@ -311,6 +340,24 @@ def cmd_bench_sweep(experiment: str, scale: str,
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import parse_rber_sweep, run_chaos
+
+    rber_points = None
+    if args.rber_sweep is not None:
+        rber_points = parse_rber_sweep(args.rber_sweep)
+    bench = run_chaos(
+        args.experiment, scale=args.scale, rber_points=rber_points,
+        fault_seed=args.fault_seed, workload=args.workload,
+        jobs=args.jobs,
+    )
+    print(bench.format_text())
+    if args.json_out is not None:
+        bench.write_json(args.json_out)
+        print(f"wrote {args.json_out}")
+    return 0
+
+
 def cmd_cache_clean(max_bytes: Optional[int],
                     cache_dir: Optional[str]) -> int:
     from pathlib import Path
@@ -366,6 +413,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_report(args.scale, args.out, args.jobs, args.telemetry)
     if args.command == "bench-sweep":
         return cmd_bench_sweep(args.experiment, args.scale, args.json_out)
+    if args.command == "chaos":
+        return cmd_chaos(args)
     if args.command == "cache":
         return cmd_cache_clean(args.max_bytes, args.cache_dir)
     if args.command == "trace-run":

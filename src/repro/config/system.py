@@ -191,6 +191,94 @@ class FlashConfig:
 
 
 @dataclass
+class FaultConfig:
+    """Fault-injection knobs for :mod:`repro.faults` (DESIGN.md §4f).
+
+    Disabled by default: with ``enabled=False`` no :class:`FaultPlan`
+    is constructed and the flash/BC hot paths take their original
+    branches, keeping results bit-identical to the golden fixtures.
+    The plan draws from its own seeded RNG stream (never the sim RNG),
+    so two runs with the same ``seed`` inject identical fault
+    sequences.
+    """
+
+    enabled: bool = False
+    #: Fault-stream seed, independent of the simulation seed.
+    seed: int = 0xF1A5
+    #: Raw bit error rate of a first (nominal-Vref) NAND sense.
+    rber: float = 0.0
+    # ECC geometry: a 4 KiB page is protected as independent codewords;
+    # each corrects up to ``ecc_correctable_bits`` raw bit errors.
+    codewords_per_page: int = 4
+    codeword_bits: int = 8192 + 1024          # 1 KiB payload + parity
+    ecc_correctable_bits: int = 40
+    # Read-retry: each extra sense re-reads with a shifted Vref, which
+    # multiplies the effective RBER by ``retry_rber_scale`` and costs
+    # ``sense * (1 + read_retry_backoff * round)`` on the plane.
+    read_retry_max_rounds: int = 4
+    retry_rber_scale: float = 0.35
+    read_retry_backoff: float = 0.5
+    # Slow planes: a deterministic subset of planes senses slower by
+    # ``slow_plane_multiplier`` (process-variation outliers).
+    slow_plane_fraction: float = 0.0
+    slow_plane_multiplier: float = 3.0
+    # Transient plane/channel hangs: the sense stalls for
+    # ``timeout_stall_factor * read_latency_ns`` while holding the
+    # plane; the completion still fires (late), so consumers without
+    # timeout machinery (the OS-swap pager) only see a slow read.
+    timeout_probability: float = 0.0
+    timeout_stall_factor: float = 12.0
+    # Wear coupling: effective RBER is scaled by
+    # ``1 + wear_rber_factor * erase_count`` of the block holding the
+    # page (fed by PageMappingFtl erase counters).
+    wear_rber_factor: float = 0.0
+    # BC resilience: reads are reissued after
+    # ``bc_timeout_factor * read_latency_ns`` and capped at
+    # ``bc_max_reissues`` reissues before DeviceFailedError surfaces.
+    bc_timeout_factor: float = 6.0
+    bc_max_reissues: int = 4
+    # Graceful degradation: after this many consecutive hard faults a
+    # plane is marked failing and its reads fall back to synchronous
+    # mirror reads at ``degraded_read_multiplier`` x sense latency.
+    # 0 disables degraded mode.  Must stay comfortably below
+    # ``bc_timeout_factor`` or the degraded path itself times out and
+    # the reissue chain cannot terminate (validate() enforces this).
+    plane_failure_threshold: int = 3
+    degraded_read_multiplier: float = 4.0
+
+    def validate(self) -> None:
+        if not 0.0 <= self.rber < 1.0:
+            raise ConfigurationError("rber must be in [0, 1)")
+        if self.codewords_per_page < 1 or self.codeword_bits < 1:
+            raise ConfigurationError("ECC geometry must be positive")
+        if self.ecc_correctable_bits < 0:
+            raise ConfigurationError("ECC strength cannot be negative")
+        if self.read_retry_max_rounds < 0 or self.bc_max_reissues < 0:
+            raise ConfigurationError("retry/reissue caps cannot be negative")
+        if not 0.0 <= self.retry_rber_scale <= 1.0:
+            raise ConfigurationError("retry_rber_scale must be in [0, 1]")
+        if not 0.0 <= self.slow_plane_fraction <= 1.0:
+            raise ConfigurationError("slow_plane_fraction out of range")
+        if not 0.0 <= self.timeout_probability < 1.0:
+            raise ConfigurationError("timeout_probability out of range")
+        if self.slow_plane_multiplier < 1.0 \
+                or self.degraded_read_multiplier < 1.0:
+            raise ConfigurationError("latency multipliers must be >= 1")
+        if self.bc_timeout_factor <= 0 or self.timeout_stall_factor <= 0:
+            raise ConfigurationError("timeout factors must be positive")
+        if self.plane_failure_threshold > 0 \
+                and self.degraded_read_multiplier >= self.bc_timeout_factor:
+            raise ConfigurationError(
+                "degraded_read_multiplier must be below bc_timeout_factor "
+                "or degraded reads themselves time out"
+            )
+        if self.wear_rber_factor < 0.0:
+            raise ConfigurationError("wear_rber_factor cannot be negative")
+        if self.plane_failure_threshold < 0:
+            raise ConfigurationError("plane_failure_threshold cannot be negative")
+
+
+@dataclass
 class OsConfig:
     """Costs of the traditional OS paging path (Sec. II-C)."""
 
@@ -269,6 +357,7 @@ class SystemConfig:
     core: CoreConfig = field(default_factory=CoreConfig)
     dram_cache: DramCacheConfig = field(default_factory=DramCacheConfig)
     flash: FlashConfig = field(default_factory=FlashConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig)
     os: OsConfig = field(default_factory=OsConfig)
     ult: UltConfig = field(default_factory=UltConfig)
     tlb: TlbConfig = field(default_factory=TlbConfig)
@@ -281,6 +370,7 @@ class SystemConfig:
         self.core.validate()
         self.dram_cache.validate()
         self.flash.validate()
+        self.faults.validate()
         self.scale.validate()
 
     # -- derived, scaled quantities ----------------------------------------
@@ -304,6 +394,7 @@ class SystemConfig:
             core=dataclasses.replace(self.core),
             dram_cache=dataclasses.replace(self.dram_cache),
             flash=dataclasses.replace(self.flash),
+            faults=dataclasses.replace(self.faults),
             os=dataclasses.replace(self.os),
             ult=dataclasses.replace(self.ult),
             tlb=dataclasses.replace(self.tlb),

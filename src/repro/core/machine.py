@@ -67,7 +67,8 @@ class Machine:
         mode = config.mode
         if mode is not PagingMode.DRAM_ONLY:
             self.flash = FlashDevice(self.engine, config.flash,
-                                     total_flash_pages)
+                                     total_flash_pages,
+                                     faults=config.faults)
         if mode in (PagingMode.ASTRIFLASH, PagingMode.FLASH_SYNC):
             self.dram_cache = DramCache(
                 self.engine, config.dram_cache,

@@ -244,6 +244,8 @@ class Runner:
             self._window_busy_ns = self._busy_ns
             self._window_accesses = self._accesses
             self._window_misses = self._misses
+            if machine.flash is not None:
+                machine.flash.gc.start_measurement()
 
         engine.schedule(scale.warmup_ns, start_measurement)
         end = scale.warmup_ns + scale.measurement_ns

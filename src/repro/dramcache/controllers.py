@@ -24,10 +24,10 @@ from repro.dramcache.footprint import FootprintPredictor
 from repro.dramcache.msr import MissStatusRow
 from repro.dramcache.organization import DramCacheOrganization
 from repro.dramcache.timing import DramCacheTiming
-from repro.errors import ProtocolError
+from repro.errors import DeviceFailedError, FlashTimeoutError, ProtocolError
 from repro.flash.device import FlashDevice
 from repro.obs.tracer import active as _tracer_active
-from repro.sim import Engine, Ready, Server, Signal, Store, spawn
+from repro.sim import Engine, Ready, Server, Signal, Store, observe, spawn
 from repro.stats import CounterSet, LatencyTracker
 from repro.units import US
 
@@ -41,7 +41,7 @@ class MissRequest:
 
     __slots__ = ("page", "is_write", "created_at", "install_signal",
                  "coalesced", "installed_at", "flash_issued_at",
-                 "flash_done_at")
+                 "flash_done_at", "fault_stall_ns")
 
     def __init__(self, engine: Engine, page: int, is_write: bool) -> None:
         self.page = page
@@ -56,6 +56,10 @@ class MissRequest:
         # parked thread's wait into MSR wait / flash read / install.
         self.flash_issued_at: Optional[float] = None
         self.flash_done_at: Optional[float] = None
+        # Time burned on failed flash attempts (timeouts, uncorrectable
+        # replies) before the read that finally delivered data; the
+        # tracer charges it as the ``fault_stall`` component.
+        self.fault_stall_ns = 0.0
 
     @property
     def fill_latency_ns(self) -> float:
@@ -118,6 +122,14 @@ class BacksideController:
                                    name="bc-evict-buffer")
         self.stats = CounterSet("backside")
         self._tracer = _tracer_active()
+        # Resilience path (DESIGN.md §4f): armed only when the flash
+        # device runs under fault injection.  Timeout scales off the
+        # nominal sense latency so config sweeps keep the ratio.
+        self._faults = flash.faults
+        self._read_timeout_ns = 0.0
+        if self._faults is not None:
+            self._read_timeout_ns = (self._faults.config.bc_timeout_factor
+                                     * flash.config.read_latency_ns)
         # Bound handles for the per-miss hot path (see CounterSet.counter).
         self._flash_reads = self.stats.counter("flash_reads")
         self._installs = self.stats.counter("installs")
@@ -148,27 +160,33 @@ class BacksideController:
 
     # -- miss handling -----------------------------------------------------------
 
-    def _handle_miss(self, request: MissRequest):
-        # Issue the page read to flash (one BC command).  With the
-        # footprint extension only the predicted blocks cross the
-        # channel/PCIe, cutting refill bandwidth.
-        yield self.timing.backside_command_ns
+    def _issue_flash_read(self, request: MissRequest) -> Signal:
+        """Issue the page read to flash.  With the footprint extension
+        only the predicted blocks cross the channel/PCIe, cutting
+        refill bandwidth."""
         if self.footprint is not None:
             blocks = self.footprint.predict_blocks(request.page)
             self._fetched_blocks[request.page] = blocks
-            read_signal = self.flash.read(
+            return self.flash.read(
                 request.page, num_bytes=self.footprint.predict_bytes(request.page)
             )
+        return self.flash.read(request.page)
+
+    def _handle_miss(self, request: MissRequest):
+        # Issue the page read to flash (one BC command).
+        yield self.timing.backside_command_ns
+        if self._faults is not None:
+            yield from self._await_read_resilient(request)
         else:
-            read_signal = self.flash.read(request.page)
-        self._flash_reads.incr()
-        request.flash_issued_at = self.engine.now
+            read_signal = self._issue_flash_read(request)
+            self._flash_reads.incr()
+            request.flash_issued_at = self.engine.now
 
-        # While flash works (~50 us), secure space in the target set.
-        yield from self._make_room(request.page)
+            # While flash works (~50 us), secure space in the target set.
+            yield from self._make_room(request.page)
 
-        # Wait for the page to arrive over PCIe.
-        yield read_signal
+            # Wait for the page to arrive over PCIe.
+            yield read_signal
         request.flash_done_at = self.engine.now
 
         # Install data + tag into the designated set and way.
@@ -184,6 +202,100 @@ class BacksideController:
                 "bc", "miss", request.created_at, request.installed_at,
                 {"page": request.page, "coalesced": request.coalesced},
             )
+
+    def _await_read_resilient(self, request: MissRequest):
+        """Issue-with-timeout loop under fault injection.
+
+        Each attempt races the flash completion against a BC deadline
+        (:class:`FlashTimeoutError` as the losing payload).  Timed-out
+        or uncorrectable attempts are counted, charged to the
+        request's ``fault_stall_ns``, and reissued — bounded by
+        ``bc_max_reissues`` before :class:`DeviceFailedError` surfaces.
+        Late completions of abandoned attempts are dropped by the
+        settled guard.  The victim-way reservation overlaps the first
+        attempt only; reissues reuse it.
+        """
+        plan = self._faults
+        cfg = plan.config
+        flash_stats = self.flash.stats
+        attempts = 0
+        while True:
+            if attempts > 0:
+                # Reissue is a fresh BC command.
+                yield self.timing.backside_command_ns
+            attempt_start = self.engine.now
+            read_signal = self._issue_flash_read(request)
+            if attempts == 0:
+                self._flash_reads.incr()
+                request.flash_issued_at = attempt_start
+            attempts += 1
+            outcome = self._arm_timeout(read_signal, request.page)
+            if attempts == 1:
+                # While flash works, secure space in the target set.
+                yield from self._make_room(request.page)
+            payload = yield outcome
+            if isinstance(payload, FlashTimeoutError):
+                flash_stats.add("bc_timeouts")
+            elif getattr(payload, "failed", False):
+                flash_stats.add("bc_uncorrectable_replies")
+            else:
+                return  # data arrived
+            request.fault_stall_ns += self.engine.now - attempt_start
+            self.msr.note_reissue(request.page)
+            if 0 < cfg.plane_failure_threshold <= attempts:
+                # One page failing attempt after attempt is the
+                # controller's evidence the plane is bad: route its
+                # reads through the degraded mirror path so the
+                # reissue chain terminates.
+                plan.mark_plane_failing(self.flash.ftl.plane_of(request.page))
+            if attempts > cfg.bc_max_reissues:
+                raise DeviceFailedError(
+                    f"flash read of page {request.page} failed "
+                    f"{attempts} attempts ({cfg.bc_max_reissues} "
+                    "reissues allowed): device considered failed"
+                )
+            flash_stats.add("bc_reissues")
+            if self._tracer is not None:
+                self._tracer.instant(
+                    "bc", "flash_reissue", self.engine.now,
+                    {"page": request.page, "attempt": attempts},
+                )
+
+    def _arm_timeout(self, read_signal: Signal, page: int) -> Signal:
+        """Race ``read_signal`` against the BC deadline.
+
+        Returns a signal that fires with the flash payload when the
+        read wins or a :class:`FlashTimeoutError` instance when the
+        deadline does.  Whichever side settles first wins; the pending
+        timeout event is cancelled on completion (it has neither fired
+        nor been cancelled at that point, so the kernel's event
+        recycling rules are respected) and a late completion after a
+        timeout is silently dropped.
+        """
+        engine = self.engine
+        timeout_ns = self._read_timeout_ns
+        outcome = Signal(engine, f"bc-read-outcome:{page}")
+        settled = [False]
+
+        def on_timeout() -> None:
+            if settled[0]:
+                return
+            settled[0] = True
+            outcome.fire(FlashTimeoutError(
+                f"flash read of page {page} exceeded {timeout_ns:.0f} ns"
+            ))
+
+        timeout_event = engine.schedule(timeout_ns, on_timeout)
+
+        def on_complete(payload) -> None:
+            if settled[0]:
+                return  # abandoned attempt finishing late
+            settled[0] = True
+            engine.cancel(timeout_event)
+            outcome.fire(payload)
+
+        observe(read_signal, on_complete)
+        return outcome
 
     def _make_room(self, page: int):
         """Reserve a way, retrying if every way is transiently reserved."""

@@ -96,6 +96,23 @@ class MissStatusRow:
         self.stats.add("coalesced")
         return entry
 
+    def note_reissue(self, page: int) -> MsrEntry:
+        """Record a flash-read reissue for a still-outstanding miss.
+
+        The resilience path (DESIGN.md §4f) retries timed-out or
+        uncorrectable reads without releasing the entry — the miss is
+        still one miss, it just took several device attempts.  Requires
+        a pending entry: reissuing a read nobody is tracking would mean
+        the BC lost an MSR entry.
+        """
+        entry = self._entries.get(page)
+        if entry is None:
+            raise ProtocolError(
+                f"flash reissue without pending MSR entry for page {page}"
+            )
+        self.stats.add("reissues")
+        return entry
+
     def release(self, page: int) -> MsrEntry:
         """Remove the entry on install completion and wake one waiter
         parked on a full table."""

@@ -2,6 +2,18 @@
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "DeadlockError",
+    "CapacityError",
+    "ProtocolError",
+    "WorkloadError",
+    "FlashTimeoutError",
+    "DeviceFailedError",
+]
+
 
 class ReproError(Exception):
     """Base class for all library-specific errors."""
@@ -31,3 +43,24 @@ class ProtocolError(ReproError):
 class WorkloadError(ReproError):
     """A workload was asked to do something it cannot (unknown key,
     malformed transaction, exhausted trace, ...)."""
+
+
+class FlashTimeoutError(ReproError):
+    """A flash read exceeded the backside controller's deadline.
+
+    Used as the *payload* of the BC's read-outcome race under fault
+    injection (never raised across the engine): when the timeout fires
+    first, the miss handler receives an instance of this class instead
+    of the completed :class:`~repro.flash.device.FlashRequest`, counts
+    the timeout, and reissues the read.
+    """
+
+
+class DeviceFailedError(ReproError):
+    """The flash device could not complete a read within the reissue cap.
+
+    Raised by the backside controller when a page read has timed out or
+    returned uncorrectable more than ``FaultConfig.bc_max_reissues``
+    times — the modelled device is considered failed and the run is
+    surfaced to the harness rather than silently retried forever.
+    """

@@ -17,8 +17,9 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.config.system import FlashConfig
+from repro.config.system import FaultConfig, FlashConfig
 from repro.errors import CapacityError, ConfigurationError
+from repro.faults.plan import FaultPlan
 from repro.flash.ftl import PageMappingFtl
 from repro.flash.gc import GarbageCollector
 from repro.flash.pcie import PCIeLink
@@ -31,7 +32,8 @@ class FlashRequest:
     """One read or write travelling through the device."""
 
     __slots__ = ("kind", "logical_page", "issue_time", "complete_time",
-                 "blocked_by_gc", "plane_index", "signal", "num_bytes")
+                 "blocked_by_gc", "plane_index", "signal", "num_bytes",
+                 "failed")
 
     READ = "read"
     WRITE = "write"
@@ -46,6 +48,10 @@ class FlashRequest:
         self.plane_index: Optional[int] = None
         self.signal = signal
         self.num_bytes: Optional[int] = None
+        # True when fault injection declared the page uncorrectable:
+        # the signal still fires (with this request) so the consumer
+        # can count the failure and reissue.
+        self.failed = False
 
     @property
     def latency_ns(self) -> float:
@@ -61,7 +67,8 @@ class FlashDevice:
     """The SSD: geometry, FTL, GC and a PCIe front end."""
 
     def __init__(self, engine: Engine, config: FlashConfig,
-                 num_logical_pages: int) -> None:
+                 num_logical_pages: int,
+                 faults: Optional[FaultConfig] = None) -> None:
         if num_logical_pages < 1:
             raise ConfigurationError("flash needs at least one logical page")
         self.engine = engine
@@ -86,6 +93,12 @@ class FlashDevice:
             engine, config.pcie_bandwidth_gbps, config.pcie_latency_ns
         )
         self.gc = GarbageCollector(self)
+        # Fault injection (DESIGN.md §4f): None unless explicitly
+        # enabled, so the default read path stays byte-identical to the
+        # golden fixtures.  The plan owns its RNG streams.
+        self.faults: Optional[FaultPlan] = None
+        if faults is not None and faults.enabled:
+            self.faults = FaultPlan(faults, config.num_planes, self.ftl)
         # Device-side write cache: writes are acknowledged once
         # buffered; a background drain programs them to the planes.
         self.write_buffer = Server(engine, capacity=config.write_buffer_pages,
@@ -159,6 +172,9 @@ class FlashDevice:
         return self.planes[plane_index]
 
     def _read_process(self, request: FlashRequest):
+        if self.faults is not None:
+            yield from self._read_process_faulted(request)
+            return
         plane = self._start_request(request)
         # Reads jump ahead of queued background programs (the
         # program-suspend-read priority of modern NAND controllers).
@@ -174,6 +190,10 @@ class FlashDevice:
             tracer.complete(f"flash{request.plane_index}", "read",
                             sense_start, self.engine.now,
                             {"page": request.logical_page})
+        yield from self._finish_read(request)
+
+    def _finish_read(self, request: FlashRequest):
+        """Post-sense read tail: channel burst, PCIe, completion."""
         num_bytes = request.num_bytes or self.config.page_size
         channel = self._channel_of(request.plane_index)
         grant = channel.acquire()
@@ -185,6 +205,88 @@ class FlashDevice:
         request.complete_time = self.engine.now
         self.read_latency.record(request.latency_ns)
         request.signal.fire(request)
+
+    def _read_process_faulted(self, request: FlashRequest):
+        """Read path under fault injection (DESIGN.md §4f).
+
+        The FaultPlan decides the read's fate up front; the process
+        then charges the matching latencies: escalating-sense retry
+        rounds while holding the plane, slow-plane multipliers,
+        transient plane hangs (the completion fires *late* rather than
+        never, so consumers without timeout machinery just see a slow
+        read), uncorrectable pages (signal fires with
+        ``request.failed`` set and no data transfer), and — once the
+        plan marks a plane failing — the degraded mirror path that
+        bypasses the plane entirely.
+        """
+        faults = self.faults
+        plane = self._start_request(request)
+        plane_index = request.plane_index
+        tracer = self._tracer
+
+        if faults.plane_failing(plane_index):
+            # Graceful degradation: the failing plane is out of the
+            # read path; its pages are served synchronously from the
+            # mirror/remap copy at a degraded latency.  No plane
+            # queueing (the mirror is uncontended by construction) but
+            # the channel/PCIe tail is still paid.
+            self.stats.add("degraded_reads")
+            mirror_start = self.engine.now
+            yield (self.config.read_latency_ns
+                   * faults.config.degraded_read_multiplier)
+            if tracer is not None:
+                tracer.complete(f"flash{plane_index}", "degraded_read",
+                                mirror_start, self.engine.now,
+                                {"page": request.logical_page})
+            yield from self._finish_read(request)
+            return
+
+        outcome = faults.read_outcome(plane_index, request.logical_page)
+        grant = plane.acquire(high_priority=True)
+        if grant is not None:
+            yield grant
+        sense_start = self.engine.now
+        sense_ns = self.config.read_latency_ns * outcome.sense_multiplier
+        if outcome.sense_multiplier != 1.0:
+            self.stats.add("slow_plane_reads")
+        yield sense_ns  # first NAND sense
+        backoff = faults.config.read_retry_backoff
+        for round_index in range(1, outcome.retry_rounds + 1):
+            # Shifted-Vref re-read: each round senses again, slower.
+            retry_start = self.engine.now
+            self.stats.add("read_retries")
+            yield sense_ns * (1.0 + backoff * round_index)
+            if tracer is not None:
+                tracer.complete(f"flash{plane_index}", "read_retry",
+                                retry_start, self.engine.now,
+                                {"page": request.logical_page,
+                                 "round": round_index})
+        if outcome.timeout_stall:
+            # Transient plane/channel hang: the die stops responding
+            # for a while but the operation eventually completes, so
+            # the plane stays held (co-located reads queue behind the
+            # hang — the plane-level outlier the BC must tolerate).
+            self.stats.add("timeout_stalls")
+            yield (self.config.read_latency_ns
+                   * faults.config.timeout_stall_factor)
+        plane.release()
+        if tracer is not None:
+            tracer.complete(f"flash{plane_index}", "read",
+                            sense_start, self.engine.now,
+                            {"page": request.logical_page,
+                             "retries": outcome.retry_rounds})
+        if outcome.retry_rounds and not outcome.uncorrectable:
+            self.stats.add("ecc_recovered_reads")
+        if outcome.uncorrectable:
+            # ECC gave up inside the die: no data crosses the channel;
+            # the consumer sees the failure and decides (the BC
+            # reissues, capped by DeviceFailedError).
+            self.stats.add("uncorrectable_reads")
+            request.failed = True
+            request.complete_time = self.engine.now
+            request.signal.fire(request)
+            return
+        yield from self._finish_read(request)
 
     def _write_process(self, request: FlashRequest):
         # Host-to-device transfer, then admission to the write cache.

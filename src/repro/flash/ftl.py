@@ -222,6 +222,20 @@ class PageMappingFtl:
 
     # -- wear statistics --------------------------------------------------------
 
+    def erase_count_of(self, logical_page: int) -> int:
+        """Erase count of the block currently holding ``logical_page``.
+
+        Never-written pages live in the pristine striped layout, which
+        by definition has no erase history, so they report 0.  The
+        fault model uses this to couple effective RBER to wear.
+        """
+        self._check_page(logical_page)
+        entry = self._mapping.get(logical_page)
+        if entry is None:
+            return 0
+        plane_index, (block_index, _offset) = entry
+        return self.planes[plane_index].blocks[block_index].erase_count
+
     def erase_counts(self) -> List[int]:
         """Erase counts of every block on the device (wear profile)."""
         return [

@@ -26,6 +26,11 @@ class GarbageCollector:
         self.device = device
         self.stats = CounterSet("gc")
         self._active: List[bool] = [False] * device.ftl.num_planes
+        # Measurement-window baselines (see start_measurement): until
+        # the runner marks the warmup boundary both stay 0, so raw
+        # device sims keep reporting whole-run fractions.
+        self._window_requests = 0.0
+        self._window_blocked = 0.0
 
     def plane_collecting(self, plane_index: int) -> bool:
         """True while a GC pass occupies ``plane_index``."""
@@ -119,6 +124,26 @@ class GarbageCollector:
         finally:
             self._active[plane_index] = False
 
+    def start_measurement(self) -> None:
+        """Mark the warmup/measurement boundary.
+
+        Snapshots the cumulative request counters so
+        :meth:`blocked_fraction` reports the measurement window only —
+        the same windowing fix the PR 1 ``miss_ratio`` change applied:
+        warmup-era GC stalls (dataset builds, cache fills) must not
+        dilute the steady-state blocked fraction.
+        """
+        stats = self.device.stats
+        self._window_requests = stats.get("requests")
+        self._window_blocked = stats.get("requests_blocked_by_gc")
+
     def blocked_fraction(self) -> float:
-        """Fraction of foreground requests that arrived during GC."""
-        return self.device.stats.ratio("requests_blocked_by_gc", "requests")
+        """Fraction of foreground requests that arrived during GC,
+        scoped to the measurement window once :meth:`start_measurement`
+        has been called (whole-run before that)."""
+        stats = self.device.stats
+        requests = stats.get("requests") - self._window_requests
+        blocked = stats.get("requests_blocked_by_gc") - self._window_blocked
+        if requests <= 0:
+            return 0.0
+        return blocked / requests

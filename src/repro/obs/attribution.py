@@ -6,7 +6,11 @@ of each bucket — the measured analogue of the paper's Table 2 latency
 breakdown, but per percentile band instead of a single mean, so the
 *composition shift* between a typical request and a tail request is
 visible (e.g. p99 requests dominated by MSR wait + flash queueing
-rather than compute).
+rather than compute).  Components with no charged time anywhere are
+omitted from the report, so the ``fault_stall`` column (failed flash
+attempts under :mod:`repro.faults` injection — retry storms, BC
+timeouts, reissues) only appears in chaos runs and never widens a
+clean run's table.
 
 The per-request component sums are exact by construction (the runner
 charges every nanosecond of the service window to exactly one

@@ -45,6 +45,7 @@ COMPONENTS = (
     "switch",        # user-level thread / OS context switches
     "msr_wait",      # miss parked: FC miss -> flash read issued
     "flash_read",    # miss parked: flash read in flight
+    "fault_stall",   # miss parked: failed attempts (retry/timeout/reissue)
     "install_wait",  # miss parked: page arrived -> install + notify
     "flash_wait",    # parked wait that could not be decomposed (OS swap)
     "ready_wait",    # data arrived -> rescheduled on the core
@@ -89,8 +90,8 @@ class RequestRecord:
     __slots__ = ("job_id", "workload", "run", "arrived_at", "started_at",
                  "finished_at", "misses", "spans",
                  "compute", "dram_hit", "tlb_walk", "miss_signal", "switch",
-                 "msr_wait", "flash_read", "install_wait", "flash_wait",
-                 "ready_wait", "sync_wait")
+                 "msr_wait", "flash_read", "fault_stall", "install_wait",
+                 "flash_wait", "ready_wait", "sync_wait")
 
     #: Timestamped sub-spans kept per record (components stay exact
     #: past the cap; only the span *list* is bounded).
@@ -116,6 +117,7 @@ class RequestRecord:
         self.switch = 0.0
         self.msr_wait = 0.0
         self.flash_read = 0.0
+        self.fault_stall = 0.0
         self.install_wait = 0.0
         self.flash_wait = 0.0
         self.ready_wait = 0.0
@@ -160,12 +162,25 @@ class RequestRecord:
         issued = min(max(issued, pending_since), ready_at)
         done = min(max(done, issued), ready_at)
         self.msr_wait += issued - pending_since
-        self.flash_read += done - issued
+        # Under fault injection the in-flight interval includes time
+        # burned on failed attempts (timeouts, uncorrectable replies,
+        # reissues); the BC stamps that as fault_stall_ns.  Those
+        # failed attempts precede the read that delivered data, so the
+        # stall occupies the front of the interval.
+        fault_ns = getattr(payload, "fault_stall_ns", 0.0)
+        span = done - issued
+        if fault_ns > span:
+            fault_ns = span
+        stall_end = issued + fault_ns
+        self.fault_stall += fault_ns
+        self.flash_read += span - fault_ns
         self.install_wait += ready_at - done
         if issued > pending_since:
             self.add_span("msr_wait", pending_since, issued)
-        if done > issued:
-            self.add_span("flash_read", issued, done)
+        if stall_end > issued:
+            self.add_span("fault_stall", issued, stall_end)
+        if done > stall_end:
+            self.add_span("flash_read", stall_end, done)
         if ready_at > done:
             self.add_span("install_wait", done, ready_at)
 

@@ -63,6 +63,32 @@ class TestPlaneState:
             plane.allocate(i)
         assert plane.gc_victim() is None
 
+    def test_gc_victim_none_when_all_blocks_free(self):
+        plane = PlaneState(0, num_blocks=4, pages_per_block=2)
+        assert plane.gc_victim() is None
+
+    def test_gc_victim_tie_breaks_on_erase_count(self):
+        plane = PlaneState(0, num_blocks=4, pages_per_block=2)
+        # Fill three blocks so the first two are closed (the third
+        # stays the open block, which gc_victim must skip).
+        slots = [plane.allocate(i) for i in range(6)]
+        plane.invalidate(slots[1])  # one garbage page in block A
+        plane.invalidate(slots[3])  # one garbage page in block B
+        block_a, block_b = slots[0][0], slots[2][0]
+        plane.blocks[block_a].erase_count = 5
+        plane.blocks[block_b].erase_count = 2
+        # Equal garbage: the less-worn block is collected first.
+        assert plane.gc_victim() == block_b
+
+    def test_gc_victim_tie_breaks_on_index_when_wear_equal(self):
+        plane = PlaneState(0, num_blocks=4, pages_per_block=2)
+        slots = [plane.allocate(i) for i in range(6)]
+        plane.invalidate(slots[1])
+        plane.invalidate(slots[3])
+        # Equal garbage, equal wear: deterministic lowest-index pick.
+        assert plane.gc_victim() == min(slots[0][0], slots[2][0])
+        assert plane.gc_victim() == plane.gc_victim()
+
     def test_double_invalidate_raises(self):
         plane = PlaneState(0, num_blocks=2, pages_per_block=2)
         slot = plane.allocate(0)
@@ -138,6 +164,20 @@ class TestPageMappingFtl:
                     if ftl.collect(0) == (0, 0):
                         break
         assert ftl.wear_imbalance() >= 1.0
+
+    def test_wear_imbalance_uniform_wear_is_exactly_level(self):
+        ftl = make_ftl(pages=16, planes=2, pages_per_block=4, op=0.5)
+        assert ftl.wear_imbalance() == 0.0  # no erase history at all
+        for plane in ftl.planes:
+            for block in plane.blocks:
+                block.erase_count = 3
+        assert ftl.wear_imbalance() == pytest.approx(1.0)
+
+    def test_erase_count_of_unwritten_page_is_zero(self):
+        ftl = make_ftl(pages=16, planes=2, pages_per_block=4, op=0.5)
+        assert ftl.erase_count_of(0) == 0
+        with pytest.raises(ProtocolError):
+            ftl.erase_count_of(16)
 
     def test_invalid_construction_raises(self):
         with pytest.raises(ConfigurationError):
