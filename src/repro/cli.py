@@ -9,6 +9,7 @@ Commands:
 * ``report [--telemetry]``        — full report (+ tail attribution)
 * ``bench-sweep``                 — sweep wall time, snapshots off vs on
 * ``chaos <experiment>``          — fault-injection degradation curves
+* ``loadgen <experiment>``        — QPS sweeps and SLO knee curves
 * ``cache clean``                 — wipe or LRU-prune ``.repro_cache/``
 * ``simulate``                    — one ad-hoc simulation run
 * ``workloads`` / ``configs``     — list registries
@@ -165,6 +166,63 @@ def _build_parser() -> argparse.ArgumentParser:
                                    "(e.g. BENCH_chaos.json for CI)")
     add_snapshot_flags(chaos_parser)
 
+    loadgen_parser = commands.add_parser(
+        "loadgen", help="sweep offered load (QPS) per config preset "
+                        "and report latency-vs-load knee curves with "
+                        "sustained-QPS-under-SLO; writes "
+                        "BENCH_loadgen.json for CI")
+    loadgen_parser.add_argument("experiment", nargs="?", default="fig10",
+                                choices=sorted(EXPERIMENTS))
+    loadgen_parser.add_argument("--scale", default="quick",
+                                choices=("quick", "full"))
+    loadgen_parser.add_argument("--qps-sweep", nargs="?",
+                                const=None, default=None,
+                                metavar="LO:HI:N",
+                                help="offered-load grid; endpoints with "
+                                     "an 'x' suffix are fractions of the "
+                                     "DRAM-only saturation throughput "
+                                     "(default 0.3x:0.95x:5)")
+    loadgen_parser.add_argument("--slo-us", type=float, default=None,
+                                help="p99 response-latency SLO in us "
+                                     "(default: 40x the DRAM-only mean "
+                                     "service time)")
+    loadgen_parser.add_argument("--workload", default=None,
+                                choices=EVALUATED_WORKLOADS,
+                                help="workload to sweep (default: tatp "
+                                     "when the scale includes it)")
+    loadgen_parser.add_argument("--arrival", default="poisson",
+                                choices=("poisson", "mmpp", "diurnal"),
+                                help="arrival process shape (aggregate "
+                                     "rate; converted to per-core "
+                                     "streams internally)")
+    loadgen_parser.add_argument("--rber", type=float, default=0.0,
+                                help="also inject flash faults at this "
+                                     "RBER on flash-backed presets "
+                                     "(composes with `repro chaos` "
+                                     "semantics; default 0 = clean)")
+    loadgen_parser.add_argument("--fault-seed", type=int, default=0xF1A5,
+                                help="fault-plan RNG seed (fixed seed "
+                                     "=> identical curves)")
+    loadgen_parser.add_argument("--backlog-threshold", type=float,
+                                default=0.05, metavar="FRAC",
+                                help="censor cells whose unfinished-job "
+                                     "backlog exceeds this fraction of "
+                                     "offered requests (default 0.05)")
+    loadgen_parser.add_argument("--refine-evals", type=int, default=4,
+                                help="extra bisection simulations per "
+                                     "preset to sharpen the knee "
+                                     "(0 = grid-only; default 4)")
+    loadgen_parser.add_argument("--seed", type=int, default=42)
+    loadgen_parser.add_argument("--jobs", type=int, default=None,
+                                help=jobs_help)
+    loadgen_parser.add_argument("--json", dest="json_out", nargs="?",
+                                const="BENCH_loadgen.json", default=None,
+                                metavar="PATH",
+                                help="also write the knee curves as "
+                                     "JSON (bare flag: "
+                                     "BENCH_loadgen.json)")
+    add_snapshot_flags(loadgen_parser)
+
     cache_parser = commands.add_parser(
         "cache", help="manage the result/snapshot cache directory")
     cache_commands = cache_parser.add_subparsers(dest="cache_command",
@@ -192,8 +250,11 @@ def _build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument("--zipf", type=float, default=1.7)
     sim_parser.add_argument("--measurement-us", type=float, default=3000.0)
     sim_parser.add_argument("--interarrival-us", type=float, default=None,
-                            help="open-loop Poisson arrivals (default: "
-                                 "closed loop)")
+                            help="open-loop Poisson arrivals with this "
+                                 "*aggregate* mean inter-arrival time "
+                                 "(machine-wide; converted to per-core "
+                                 "streams internally; default: closed "
+                                 "loop)")
     sim_parser.add_argument("--seed", type=int, default=42)
     return parser
 
@@ -358,6 +419,24 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.loadgen import run_loadgen
+
+    bench = run_loadgen(
+        args.experiment, scale=args.scale, qps_sweep=args.qps_sweep,
+        slo_us=args.slo_us, workload=args.workload,
+        arrival=args.arrival, rber=args.rber,
+        fault_seed=args.fault_seed, seed=args.seed,
+        backlog_threshold=args.backlog_threshold,
+        refine_evals=args.refine_evals, jobs=args.jobs,
+    )
+    print(bench.format_text())
+    if args.json_out is not None:
+        bench.write_json(args.json_out)
+        print(f"wrote {args.json_out}")
+    return 0
+
+
 def cmd_cache_clean(max_bytes: Optional[int],
                     cache_dir: Optional[str]) -> int:
     from pathlib import Path
@@ -389,7 +468,13 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                              seed=args.seed, zipf_s=args.zipf)
     arrivals = None
     if args.interarrival_us is not None:
-        arrivals = PoissonArrivals(args.interarrival_us * US,
+        # --interarrival-us is the *aggregate* (machine-wide) mean gap;
+        # the runner spawns one arrival stream per core, so each
+        # stream's mean is cores times larger (the per-core convention
+        # documented in repro.workloads.arrival).  Before this
+        # conversion the CLI silently offered `cores`x the requested
+        # load while fig10/table2 used the per-core convention.
+        arrivals = PoissonArrivals(args.interarrival_us * US * args.cores,
                                    seed=args.seed + 1)
     result = Runner(config, workload, arrivals=arrivals).run()
     print(result.describe())
@@ -415,6 +500,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_bench_sweep(args.experiment, args.scale, args.json_out)
     if args.command == "chaos":
         return cmd_chaos(args)
+    if args.command == "loadgen":
+        return cmd_loadgen(args)
     if args.command == "cache":
         return cmd_cache_clean(args.max_bytes, args.cache_dir)
     if args.command == "trace-run":

@@ -38,10 +38,11 @@ from repro.obs.telemetry import TelemetrySampler
 from repro.obs.tracer import active as _tracer_active
 from repro.sim import Signal, observe, spawn
 from repro.stats import CounterSet, LatencyTracker, ThroughputTracker
+from repro.stats.histogram import percentile
 from repro.ult.queuepair import CompletionQueue
 from repro.ult.thread import ThreadState, UserThread
 from repro.units import US
-from repro.workloads.arrival import ClosedLoop, PoissonArrivals
+from repro.workloads.arrival import ClosedLoop
 from repro.workloads.base import Job, Workload
 
 # Compute/hit time is accumulated locally and yielded in quanta of this
@@ -97,6 +98,23 @@ class SimulationResult:
     warm_wall_seconds: float = 0.0
     wall_seconds: float = 0.0
     warm_source: str = "none"
+    # Open-loop censoring contract (DESIGN.md §4g): requests still
+    # queued or in flight when the measurement window closed are
+    # *censored* out of the completed-sample percentiles — exactly the
+    # requests that define the tail near the saturation knee.
+    # ``unfinished_jobs`` counts them (queued + dispatched-but-live),
+    # ``backlog_fraction`` is their share of all requests the window
+    # should have accounted for, and
+    # ``response_p99_lower_bound_ns`` merges their ages (a lower bound
+    # on each one's eventual response latency) back into the sample
+    # set — a valid lower bound on the true p99.  Consumers
+    # (repro.loadgen) must flag cells whose backlog fraction exceeds
+    # their threshold instead of trusting the optimistic window p99.
+    unfinished_jobs: int = 0
+    inflight_jobs: int = 0
+    queued_jobs: int = 0
+    backlog_fraction: float = 0.0
+    response_p99_lower_bound_ns: Optional[float] = None
 
     def describe(self) -> str:
         lines = [
@@ -109,6 +127,11 @@ class SimulationResult:
         if self.response_p99_ns is not None:
             lines.append(
                 f"  response p99    {self.response_p99_ns / US:.1f} us"
+            )
+        if self.unfinished_jobs:
+            lines.append(
+                f"  backlog         {self.unfinished_jobs} unfinished "
+                f"jobs ({self.backlog_fraction:.1%} of offered)"
             )
         return "\n".join(lines)
 
@@ -151,6 +174,12 @@ class Runner:
         self._queues: Dict[int, Deque[Job]] = {
             core_id: deque() for core_id in range(config.num_cores)
         }
+        # Live-job registry for the censoring contract: a job enters
+        # when a core (or thread library) takes it from the queue and
+        # leaves in _finish_job.  Jobs still here — or still queued —
+        # when the run ends are the requests the measurement window
+        # censored.
+        self._live_jobs: Dict[int, Job] = {}
         self._idle: Dict[int, Optional[Signal]] = {
             core_id: None for core_id in range(config.num_cores)
         }
@@ -226,7 +255,7 @@ class Runner:
                 )
                 self._telemetry.start()
 
-        open_loop = isinstance(self.arrivals, PoissonArrivals)
+        open_loop = not isinstance(self.arrivals, ClosedLoop)
         if open_loop:
             for core_id in range(self.config.num_cores):
                 spawn(engine, self._arrival_process(core_id),
@@ -294,6 +323,15 @@ class Runner:
                 f"flash.{k}": v for k, v in
                 self.machine.flash.stats.as_dict().items()
             })
+        # Censoring accounting: everything still queued or in flight
+        # when the run stopped was offered to the system but never
+        # reached the completed-sample percentiles.
+        queued_jobs = sum(len(q) for q in self._queues.values())
+        inflight_jobs = len(self._live_jobs)
+        unfinished_jobs = queued_jobs + inflight_jobs
+        offered = unfinished_jobs + self.throughput.completions
+        backlog_fraction = unfinished_jobs / offered if offered else 0.0
+        has_responses = open_loop and self.response_latency.count > 0
         return SimulationResult(
             config_name=self.config.name,
             workload_name=self.workload.name,
@@ -303,11 +341,9 @@ class Runner:
             service_p99_ns=self.service_latency.p99(),
             service_mean_ns=self.service_latency.mean(),
             response_p99_ns=(self.response_latency.p99()
-                             if open_loop and self.response_latency.count
-                             else None),
+                             if has_responses else None),
             response_mean_ns=(self.response_latency.mean()
-                              if open_loop and self.response_latency.count
-                              else None),
+                              if has_responses else None),
             miss_ratio=miss_ratio,
             mean_inter_miss_ns=inter_miss,
             core_busy_fraction=busy_fraction,
@@ -316,13 +352,50 @@ class Runner:
             warm_wall_seconds=self._warm_wall_seconds,
             wall_seconds=wall_seconds + self._warm_wall_seconds,
             warm_source=self._warm_source,
+            unfinished_jobs=unfinished_jobs,
+            inflight_jobs=inflight_jobs,
+            queued_jobs=queued_jobs,
+            backlog_fraction=backlog_fraction,
+            response_p99_lower_bound_ns=(
+                self._response_p99_lower_bound()
+                if has_responses else None
+            ),
         )
+
+    def _response_p99_lower_bound(self) -> float:
+        """Censoring-corrected lower bound on the open-loop p99.
+
+        The window's completed-sample p99 silently drops requests
+        still queued or in flight when the window closed.  Each such
+        request has already waited ``now - arrived_at``, a lower bound
+        on its eventual response latency; merging those ages back into
+        the sample set gives a valid lower bound on the true p99
+        (standard right-censoring treatment).  Falls back to the
+        observed p99 when the tracker holds no raw samples
+        (log-histogram mode) or nothing was censored.
+        """
+        samples = self.response_latency.samples()
+        if samples is None:
+            return self.response_latency.p99()
+        now = self.machine.engine.now
+        ages = [now - job.arrived_at for job in self._live_jobs.values()
+                if job.arrived_at is not None]
+        for queue in self._queues.values():
+            ages.extend(now - job.arrived_at for job in queue
+                        if job.arrived_at is not None)
+        if not ages:
+            return self.response_latency.p99()
+        merged = sorted(samples + ages)
+        return percentile(merged, 0.99)
 
     # ------------------------------------------------------------ load gen --
 
     def _arrival_process(self, core_id: int):
         while True:
-            yield self.arrivals.next_gap_ns()
+            gap = self.arrivals.next_gap_ns()
+            if gap is None:
+                return  # finite source (trace replay) exhausted
+            yield gap
             job = self.workload.make_job()
             job.arrived_at = self.machine.engine.now
             self._queues[core_id].append(job)
@@ -331,10 +404,13 @@ class Runner:
     def _next_job(self, core_id: int) -> Optional[Job]:
         queue = self._queues[core_id]
         if queue:
-            return queue.popleft()
+            job = queue.popleft()
+            self._live_jobs[job.job_id] = job
+            return job
         if isinstance(self.arrivals, ClosedLoop):
             job = self.workload.make_job()
             job.arrived_at = self.machine.engine.now
+            self._live_jobs[job.job_id] = job
             return job
         return None
 
@@ -346,6 +422,7 @@ class Runner:
 
     def _finish_job(self, job: Job) -> None:
         now = self.machine.engine.now
+        self._live_jobs.pop(job.job_id, None)
         job.finished_at = now
         self.service_latency.record(now - job.started_at)
         self.response_latency.record(now - job.arrived_at)

@@ -22,12 +22,12 @@ acceptance bar for ``BENCH_chaos.json``).
 from __future__ import annotations
 
 import importlib
-import json
 from dataclasses import asdict, dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
 from repro.harness.common import resolve_scale
+from repro.jsonutil import dumps as json_dumps
 from repro.harness.parallel import (
     ParallelRunError,
     RunSpec,
@@ -134,7 +134,9 @@ class ChaosBench:
         return "\n".join(lines)
 
     def to_json(self) -> str:
-        return json.dumps(asdict(self), indent=2)
+        # repro.jsonutil: non-finite floats serialize as null, never as
+        # the non-standard Infinity/NaN tokens json.dumps would emit.
+        return json_dumps(asdict(self))
 
     def write_json(self, path: str) -> None:
         with open(path, "w") as handle:

@@ -50,7 +50,7 @@ from typing import (
 from repro.errors import ReproError
 from repro.harness.common import HarnessScale, build_config, resolve_scale
 from repro.core import Runner
-from repro.workloads import PoissonArrivals
+from repro.workloads import arrival_from_spec
 
 # Bump manually on semantic changes that the source digest cannot see
 # (e.g. a pickle-format change in SimulationResult).
@@ -102,8 +102,36 @@ class RunSpec:
 
 
 def poisson(mean_interarrival_ns: float, seed: int = 42) -> Tuple:
-    """Arrival spec for open-loop Poisson arrivals (picklable tuple)."""
+    """Arrival spec for open-loop Poisson arrivals (picklable tuple).
+
+    ``mean_interarrival_ns`` is *per core* (each core runs its own
+    arrival stream; see :mod:`repro.workloads.arrival`): a machine
+    with N cores sees an aggregate rate of ``N / mean``.
+    """
     return ("poisson", float(mean_interarrival_ns), int(seed))
+
+
+def mmpp(mean_interarrival_ns: float, burst_interarrival_ns: float,
+         mean_dwell_ns: float, burst_dwell_ns: float, seed: int = 42,
+         streams: int = 1) -> Tuple:
+    """Arrival spec for bursty two-state MMPP arrivals (per-core
+    means; ``streams`` = cores sharing the process object)."""
+    return ("mmpp", float(mean_interarrival_ns),
+            float(burst_interarrival_ns), float(mean_dwell_ns),
+            float(burst_dwell_ns), int(seed), int(streams))
+
+
+def diurnal(mean_interarrival_ns: float, period_ns: float,
+            amplitude: float = 0.5, seed: int = 42,
+            streams: int = 1) -> Tuple:
+    """Arrival spec for sinusoidally rate-modulated arrivals."""
+    return ("diurnal", float(mean_interarrival_ns), float(period_ns),
+            float(amplitude), int(seed), int(streams))
+
+
+def trace(gaps_ns, cycle: bool = False) -> Tuple:
+    """Arrival spec replaying recorded inter-arrival gaps."""
+    return ("trace", tuple(float(gap) for gap in gaps_ns), bool(cycle))
 
 
 def make_spec(config_name: str, workload_name: str, scale,
@@ -124,13 +152,9 @@ def make_spec(config_name: str, workload_name: str, scale,
 
 
 def _build_arrivals(arrival_spec: Optional[Tuple]):
-    if arrival_spec is None:
-        return None
-    kind = arrival_spec[0]
-    if kind == "poisson":
-        _, mean_ns, seed = arrival_spec
-        return PoissonArrivals(mean_ns, seed=seed)
-    raise ReproError(f"unknown arrival spec {arrival_spec!r}")
+    # Delegates to the arrival registry; ConfigurationError (a
+    # ReproError) propagates for unknown kinds.
+    return arrival_from_spec(arrival_spec)
 
 
 def _apply_config_override(config, path: str, value) -> None:

@@ -1,0 +1,38 @@
+"""Strict JSON serialization helpers.
+
+Python's ``json.dumps`` happily emits ``Infinity``/``NaN`` — tokens
+that are *not* JSON and break strict parsers (``jq``, browsers,
+``json.loads(..., parse_constant=...)`` consumers in CI).  Simulation
+results can legitimately contain non-finite floats (e.g.
+``ClosedLoop.rate_per_second`` is ``inf``), so every ``--json`` emitter
+in the repo routes its payload through :func:`dumps`, which maps
+non-finite floats to ``null`` and then serializes with
+``allow_nan=False`` as a backstop: a non-finite value that somehow
+survives sanitizing raises instead of corrupting the artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+
+def json_safe(value: Any) -> Any:
+    """Recursively replace non-finite floats with ``None``.
+
+    Dicts, lists, and tuples are rebuilt (tuples become lists, as JSON
+    would anyway); every other value passes through untouched.
+    """
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {key: json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(item) for item in value]
+    return value
+
+
+def dumps(value: Any, indent: int = 2) -> str:
+    """Standard-compliant ``json.dumps``: non-finite floats -> null."""
+    return json.dumps(json_safe(value), indent=indent, allow_nan=False)

@@ -113,10 +113,17 @@ def export_chrome_trace(tracer: Tracer) -> dict:
 
 
 def write_chrome_trace(tracer: Tracer, path: str) -> dict:
-    """Export and write the trace; returns the written document."""
+    """Export and write the trace; returns the written document.
+
+    Serialized via :func:`repro.jsonutil.json_safe`: Perfetto rejects
+    the non-standard ``Infinity``/``NaN`` tokens ``json.dump`` would
+    otherwise emit for non-finite event args.
+    """
+    from repro.jsonutil import json_safe
+
     document = export_chrome_trace(tracer)
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(document, handle)
+        json.dump(json_safe(document), handle, allow_nan=False)
     return document
 
 

@@ -141,6 +141,13 @@ def write_telemetry_csv(rows: List[Dict[str, float]], path: str) -> None:
 
 
 def write_telemetry_json(rows: List[Dict[str, float]], path: str) -> None:
-    """Write the sampled series as a JSON list of row objects."""
+    """Write the sampled series as a JSON list of row objects.
+
+    Goes through :func:`repro.jsonutil.json_safe` so a non-finite
+    sample (e.g. an infinite rate from an empty window) serializes as
+    ``null`` instead of a non-standard ``Infinity`` token.
+    """
+    from repro.jsonutil import json_safe
+
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(rows, handle)
+        json.dump(json_safe(rows), handle, allow_nan=False)

@@ -24,7 +24,6 @@ the unprofiled per-run value).
 from __future__ import annotations
 
 import cProfile
-import json
 import os
 import pstats
 import time
@@ -32,6 +31,7 @@ from dataclasses import asdict, dataclass, field
 from typing import List, Optional
 
 from repro.errors import ReproError
+from repro.jsonutil import dumps as json_dumps
 from repro.sim.engine import total_events_executed
 
 
@@ -82,7 +82,9 @@ class ProfileReport:
         return "\n".join(lines)
 
     def to_json(self) -> str:
-        return json.dumps(asdict(self), indent=2)
+        # repro.jsonutil: non-finite floats serialize as null, never as
+        # the non-standard Infinity/NaN tokens json.dumps would emit.
+        return json_dumps(asdict(self))
 
     def write_json(self, path: str) -> None:
         with open(path, "w") as handle:
@@ -218,7 +220,9 @@ class SweepBench:
         ])
 
     def to_json(self) -> str:
-        return json.dumps(asdict(self), indent=2)
+        # repro.jsonutil: non-finite floats serialize as null, never as
+        # the non-standard Infinity/NaN tokens json.dumps would emit.
+        return json_dumps(asdict(self))
 
     def write_json(self, path: str) -> None:
         with open(path, "w") as handle:

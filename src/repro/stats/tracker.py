@@ -65,6 +65,17 @@ class LatencyTracker:
     def p99(self) -> float:
         return self.percentile(0.99)
 
+    def samples(self):
+        """Sorted raw samples when exact, else ``None``.
+
+        The censoring correction in :mod:`repro.core.runner` merges
+        unfinished-job ages into the recorded sample set; that needs
+        the raw values, which only :class:`ExactReservoir` keeps.
+        """
+        if isinstance(self._reservoir, ExactReservoir):
+            return self._reservoir.samples()
+        return None
+
 
 class ThroughputTracker:
     """Counts completions over the measurement window and reports a rate."""

@@ -2,7 +2,15 @@
 evaluated applications, and arrival processes."""
 
 from repro.workloads.arrayswap import ArraySwapWorkload
-from repro.workloads.arrival import ClosedLoop, PoissonArrivals
+from repro.workloads.arrival import (
+    ArrivalProcess,
+    ClosedLoop,
+    DiurnalArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+    arrival_from_spec,
+)
 from repro.workloads.base import Job, Step, Workload
 from repro.workloads.hashtable import HashIndex, HashTableWorkload
 from repro.workloads.masstree import Masstree, MasstreeWorkload
@@ -21,12 +29,15 @@ from repro.workloads.zipf import ZipfianGenerator
 
 __all__ = [
     "ArraySwapWorkload",
+    "ArrivalProcess",
     "ClosedLoop",
+    "DiurnalArrivals",
     "EVALUATED_WORKLOADS",
     "HashIndex",
     "HashTableWorkload",
     "Job",
     "LayeredMasstree",
+    "MMPPArrivals",
     "Masstree",
     "MasstreeWorkload",
     "PagedHeap",
@@ -39,8 +50,10 @@ __all__ = [
     "Step",
     "TatpWorkload",
     "TpccWorkload",
+    "TraceArrivals",
     "Workload",
     "ZipfianGenerator",
+    "arrival_from_spec",
     "key_slices",
     "make_workload",
     "workload_names",
