@@ -8,6 +8,7 @@ Commands:
 * ``trace-run <experiment>``      — traced run -> Chrome trace JSON
 * ``report [--telemetry]``        — full report (+ tail attribution)
 * ``bench-sweep``                 — sweep wall time, snapshots off vs on
+* ``bench-kernel``                — batch-execution kernel, scalar vs vector
 * ``chaos <experiment>``          — fault-injection degradation curves
 * ``loadgen <experiment>``        — QPS sweeps and SLO knee curves
 * ``cache clean``                 — wipe or LRU-prune ``.repro_cache/``
@@ -122,8 +123,35 @@ def _build_parser() -> argparse.ArgumentParser:
                                 help="hotspot rows to report (default 15)")
     profile_parser.add_argument("--json", dest="json_out", default=None,
                                 metavar="PATH",
-                                help="also write the report as JSON "
-                                     "(e.g. BENCH_kernel.json for CI)")
+                                help="also write the report as JSON")
+    profile_parser.add_argument("--backend", default=None,
+                                choices=("scalar", "vector"),
+                                help="execution backend for the profiled "
+                                     "runs (default: $REPRO_BACKEND or "
+                                     "scalar)")
+
+    kernel_parser = commands.add_parser(
+        "bench-kernel", help="time the batch-execution kernel per "
+                             "backend (scalar vs vector; writes "
+                             "BENCH_kernel.json for CI)")
+    kernel_parser.add_argument("--scale", default="quick",
+                               choices=("quick", "full"))
+    kernel_parser.add_argument("--backend", default=None,
+                               choices=("scalar", "vector"),
+                               help="bench a single backend (default: "
+                                    "both, with bit-identity check)")
+    kernel_parser.add_argument("--compare", action="store_true",
+                               help="bench both backends and print the "
+                                    "vector/scalar speedup ratio "
+                                    "(the default when --backend is "
+                                    "not given)")
+    kernel_parser.add_argument("--repeat", type=int, default=3,
+                               help="timed runs per backend; the best "
+                                    "wall is reported (default 3)")
+    kernel_parser.add_argument("--json", dest="json_out", default=None,
+                               metavar="PATH",
+                               help="also write the bench as JSON "
+                                    "(e.g. BENCH_kernel.json for CI)")
 
     sweep_parser = commands.add_parser(
         "bench-sweep", help="time one sweep with snapshots off vs on "
@@ -256,6 +284,10 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "streams internally; default: closed "
                                  "loop)")
     sim_parser.add_argument("--seed", type=int, default=42)
+    sim_parser.add_argument("--backend", default=None,
+                            choices=("scalar", "vector"),
+                            help="execution backend (default: "
+                                 "$REPRO_BACKEND or scalar)")
     return parser
 
 
@@ -378,14 +410,36 @@ def cmd_trace_run(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(experiment: str, scale: str, top: int,
-                json_out: Optional[str]) -> int:
+                json_out: Optional[str],
+                backend: Optional[str] = None) -> int:
     from repro.perf import profile_experiment
 
-    report = profile_experiment(experiment, scale=scale, top=top)
+    report = profile_experiment(experiment, scale=scale, top=top,
+                                backend=backend)
     print(report.format_text())
     if json_out is not None:
         report.write_json(json_out)
         print(f"wrote {json_out}")
+    return 0
+
+
+def cmd_bench_kernel(args: argparse.Namespace) -> int:
+    from repro.perf import bench_kernel
+
+    if args.backend is not None and not args.compare:
+        backends = (args.backend,)
+    else:
+        backends = ("scalar", "vector")
+    bench = bench_kernel(scale=args.scale, backends=backends,
+                         repeat=args.repeat)
+    print(bench.format_text())
+    if args.json_out is not None:
+        bench.write_json(args.json_out)
+        print(f"wrote {args.json_out}")
+    if bench.bit_identical is False:
+        print("bench-kernel: backends DIVERGED (fingerprints or "
+              "deterministic results differ)", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -476,7 +530,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         # load while fig10/table2 used the per-core convention.
         arrivals = PoissonArrivals(args.interarrival_us * US * args.cores,
                                    seed=args.seed + 1)
-    result = Runner(config, workload, arrivals=arrivals).run()
+    result = Runner(config, workload, arrivals=arrivals,
+                    backend=args.backend).run()
     print(result.describe())
     return 0
 
@@ -508,7 +563,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_trace_run(args)
     if args.command == "profile":
         return cmd_profile(args.experiment, args.scale, args.top,
-                           args.json_out)
+                           args.json_out, args.backend)
+    if args.command == "bench-kernel":
+        return cmd_bench_kernel(args)
     if args.command == "simulate":
         return cmd_simulate(args)
     raise AssertionError("unreachable")  # pragma: no cover

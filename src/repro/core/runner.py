@@ -37,6 +37,7 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.obs.telemetry import TelemetrySampler
 from repro.obs.tracer import active as _tracer_active
 from repro.sim import Signal, observe, spawn
+from repro.sim import vector as _vector
 from repro.stats import CounterSet, LatencyTracker, ThroughputTracker
 from repro.stats.histogram import percentile
 from repro.ult.queuepair import CompletionQueue
@@ -141,7 +142,7 @@ class Runner:
 
     def __init__(self, config: SystemConfig, workload: Workload,
                  arrivals=None, seed: Optional[int] = None,
-                 warm: bool = True) -> None:
+                 warm: bool = True, backend: Optional[str] = None) -> None:
         self.config = config
         self.workload = workload
         self.arrivals = arrivals if arrivals is not None else ClosedLoop()
@@ -149,6 +150,14 @@ class Runner:
         self.seed = config.scale.seed if seed is None else seed
         self._rng = random.Random(self.seed)
         self._warm = warm
+        # Execution backend: "scalar" (golden reference) or "vector"
+        # (repro.sim.vector epochs, bit-identical where supported).
+        # None defers to $REPRO_BACKEND at run() time.
+        self._backend_request = backend
+        self._vector_kind: Optional[str] = None
+        # Buffered TLB-draw bridge owned by the vector loops; resynced
+        # into self._rng once at end of run.
+        self._vector_tlb_rng: Optional[_vector.BatchedRandom] = None
         self._warm_source = "none"
         self._warm_wall_seconds = 0.0
 
@@ -255,37 +264,66 @@ class Runner:
                 )
                 self._telemetry.start()
 
+        # Backend selection (DESIGN.md §4h): the vector backend only
+        # engages on run shapes it can reproduce bit-identically;
+        # everything else silently takes the scalar path and records
+        # the fallback reason in repro.sim.vector.stats().
+        if _vector.resolve_backend(self._backend_request) == "vector":
+            self._vector_kind, reason = _vector.classify(self)
+            if self._vector_kind is None:
+                _vector.record_fallback(reason)
+        else:
+            self._vector_kind = None
+
         open_loop = not isinstance(self.arrivals, ClosedLoop)
-        if open_loop:
+        if self._vector_kind == "fused":
+            # Single-core DRAM-only: the whole measurement phase runs
+            # heap-free; spawn/start_measurement/burst events are
+            # accounted through Engine.advance_batch.
+            _vector.run_fused(self)
+        else:
+            if open_loop:
+                for core_id in range(self.config.num_cores):
+                    spawn(engine, self._arrival_process(core_id),
+                          name=f"arrivals{core_id}")
             for core_id in range(self.config.num_cores):
-                spawn(engine, self._arrival_process(core_id),
-                      name=f"arrivals{core_id}")
-        for core_id in range(self.config.num_cores):
-            spawn(engine, self._core_loop(core_id), name=f"core{core_id}")
-
-        def start_measurement():
-            self.service_latency.start_measurement()
-            self.response_latency.start_measurement()
-            self.throughput.start_measurement(engine.now)
-            # Snapshot the cumulative counters so _build_result can
-            # report measurement-window deltas instead of since-t=0
-            # totals polluted by warmup traffic.
-            self._window_busy_ns = self._busy_ns
-            self._window_accesses = self._accesses
-            self._window_misses = self._misses
-            if machine.flash is not None:
-                machine.flash.gc.start_measurement()
-
-        engine.schedule(scale.warmup_ns, start_measurement)
-        end = scale.warmup_ns + scale.measurement_ns
-        engine.run(until=end)
+                spawn(engine, self._core_loop(core_id),
+                      name=f"core{core_id}")
+            engine.schedule(scale.warmup_ns, self._start_measurement)
+            end = scale.warmup_ns + scale.measurement_ns
+            engine.run(until=end)
         self.throughput.stop_measurement(engine.now)
+        if self._vector_kind is not None:
+            # Land the Python RNG streams on exactly the consumed
+            # draw positions (buffered bridges defer this to run end).
+            if self._vector_tlb_rng is not None:
+                self._vector_tlb_rng.sync()
+            self.workload.plan_sync()
         if tracer is not None:
             tracer.end_run(engine.now)
 
         wall_seconds = time.perf_counter() - wall_start
         _WALL_TOTALS["measure_seconds"] += wall_seconds
         return self._build_result(open_loop, wall_seconds)
+
+    def _start_measurement(self) -> None:
+        """Open the measurement window (scheduled at ``warmup_ns``).
+
+        Split out of :meth:`run` so the vector backend can fire it at
+        the same simulated instant the scalar schedule would.
+        """
+        machine = self.machine
+        self.service_latency.start_measurement()
+        self.response_latency.start_measurement()
+        self.throughput.start_measurement(machine.engine.now)
+        # Snapshot the cumulative counters so _build_result can
+        # report measurement-window deltas instead of since-t=0
+        # totals polluted by warmup traffic.
+        self._window_busy_ns = self._busy_ns
+        self._window_accesses = self._accesses
+        self._window_misses = self._misses
+        if machine.flash is not None:
+            machine.flash.gc.start_measurement()
 
     def _build_result(self, open_loop: bool,
                       wall_seconds: float = 0.0) -> SimulationResult:
@@ -468,7 +506,11 @@ class Runner:
         if mode is PagingMode.DRAM_ONLY:
             yield from self._run_to_completion_loop(core_id, with_cache=False)
         elif mode is PagingMode.FLASH_SYNC:
-            yield from self._run_to_completion_loop(core_id, with_cache=True)
+            if self._vector_kind == "job-epoch":
+                yield from self._vector_cache_loop(core_id)
+            else:
+                yield from self._run_to_completion_loop(core_id,
+                                                        with_cache=True)
         else:
             yield from self._multiplexed_loop(core_id)
 
@@ -611,6 +653,110 @@ class Runner:
             self._busy_ns += accumulated
         tracer.pop(track, engine.now)
         self._finish_job(job)
+
+    # -- Flash-Sync vector twin: batched hit runs, scalar misses ---------------
+
+    def _vector_cache_loop(self, core_id: int):
+        """Vector-backend twin of the Flash-Sync arm of
+        :meth:`_run_to_completion_loop` (DESIGN.md §4h).
+
+        Jobs are planned as columns up front (legal on the vetted
+        single-core closed-loop shape: nothing else consumes the
+        workload/TLB RNG streams between steps), then executed one
+        quantum burst at a time: the burst horizon is precomputed
+        under the all-hit assumption with the exact scalar adds, the
+        burst's tag probes go through
+        :meth:`~repro.dramcache.cache.DramCache.access_run` as one
+        batch, and the first missing tag drops to the *unmodified*
+        scalar miss machinery (FC -> BC -> flash -> replay).  Probing
+        never reaches past the current burst, so a window close
+        truncates with exactly the scalar's probe/counter state.
+        """
+        engine = self.machine.engine
+        cache = self.machine.dram_cache
+        cache_access = cache.access
+        access_run = cache.access_run
+        hit_ns = cache.hit_latency_ns
+        tlb_p = self._tlb_miss_probability
+        walk_ns = self._flat_walk_ns
+        quantum = TIME_QUANTUM_NS
+        plan = self.workload.plan_steps
+        self._vector_tlb_rng = _vector.BatchedRandom(self._rng)
+        rng_take = self._vector_tlb_rng.take
+        tlb_counter = self._tlb_miss_count
+        vstats = _vector.run_stats()
+        vstats["job_epoch_runs"] += 1
+
+        while True:
+            job = self._next_job(core_id)
+            job.started_at = engine.now
+            compute, pages, writes = plan(job)
+            num_steps = len(compute)
+            d1, miss_flags = _vector.step_deltas(
+                compute, rng_take(num_steps), tlb_p, walk_ns
+            )
+            vstats["batched_jobs"] += 1
+            vstats["batched_steps"] += num_steps
+            accumulated = 0.0
+            i = 0
+            while i < num_steps:
+                # Burst horizon under the all-hit assumption: the
+                # first step whose post-add accumulation crosses the
+                # quantum.  Same two adds per step as the scalar loop,
+                # so the boundary (and its float value) match bit-wise
+                # whenever the assumption holds.
+                j = i
+                probe_acc = accumulated
+                while j < num_steps:
+                    probe_acc += d1[j]
+                    probe_acc += hit_ns
+                    j += 1
+                    if probe_acc >= quantum:
+                        break
+                hits = access_run(pages, writes, i, j)
+                vstats["hit_run_probes"] += hits
+                stop = i + hits
+                while i < stop:
+                    accumulated += d1[i]
+                    self._accesses += 1
+                    if miss_flags[i]:
+                        tlb_counter.incr()
+                    accumulated += hit_ns
+                    i += 1
+                    if accumulated >= quantum:
+                        yield accumulated
+                        self._busy_ns += accumulated
+                        accumulated = 0.0
+                if stop < j:
+                    # The batched probe stopped on a missing tag:
+                    # execute that one step through the scalar path.
+                    accumulated += d1[i]
+                    self._accesses += 1
+                    if miss_flags[i]:
+                        tlb_counter.incr()
+                    result = cache_access(pages[i], writes[i])
+                    if result.hit:  # pragma: no cover - no installer
+                        accumulated += result.latency_ns  # ran between
+                    else:
+                        self._misses += 1
+                        job.misses += 1
+                        yield accumulated
+                        self._busy_ns += accumulated
+                        accumulated = 0.0
+                        yield result.completion
+                        accumulated += yield from self._replay_until_hit(
+                            pages[i], writes[i]
+                        )
+                        self.stats.add("sync_miss_waits")
+                    i += 1
+                    if accumulated >= quantum:
+                        yield accumulated
+                        self._busy_ns += accumulated
+                        accumulated = 0.0
+            if accumulated > 0.0:
+                yield accumulated
+                self._busy_ns += accumulated
+            self._finish_job(job)
 
     # -- AstriFlash and OS-Swap: switch-on-stall multiplexing --------------------
 

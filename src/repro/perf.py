@@ -28,7 +28,7 @@ import os
 import pstats
 import time
 from dataclasses import asdict, dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ReproError
 from repro.jsonutil import dumps as json_dumps
@@ -46,8 +46,10 @@ class Hotspot:
 
 
 #: Bump when the JSON layout of :class:`ProfileReport` changes so CI
-#: consumers of ``BENCH_kernel.json`` can detect incompatible files.
-PROFILE_SCHEMA_VERSION = 1
+#: consumers of the profile JSON can detect incompatible files.
+#: v2: events/sec excludes warm-phase wall time (``warm_wall_seconds``
+#: is reported separately) and the executing ``backend`` is recorded.
+PROFILE_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -63,11 +65,15 @@ class ProfileReport:
     hotspots: List[Hotspot] = field(default_factory=list)
     schema_version: int = PROFILE_SCHEMA_VERSION
     config_preset: str = ""  # HarnessScale.name the run resolved to
+    warm_wall_seconds: float = 0.0  # cache-warm time excluded from events/s
+    backend: str = "scalar"  # repro.sim.vector.BACKENDS member
 
     def format_text(self) -> str:
         lines = [
-            f"profile: {self.experiment} (scale={self.scale})",
-            f"  wall time       {self.wall_seconds:.2f} s (under cProfile)",
+            f"profile: {self.experiment} (scale={self.scale}, "
+            f"backend={self.backend})",
+            f"  wall time       {self.wall_seconds:.2f} s (under cProfile; "
+            f"+{self.warm_wall_seconds:.2f} s warmup, excluded)",
             f"  kernel events   {self.events_executed:,} "
             f"({self.events_per_second:,.0f} events/s)",
             f"  function calls  {self.total_calls:,}",
@@ -122,17 +128,28 @@ def hotspots_from_stats(stats: pstats.Stats, top: int = 15) -> List[Hotspot]:
 
 def profile_experiment(experiment: str, scale: str = "quick",
                        top: int = 15,
-                       profiler: Optional[cProfile.Profile] = None
-                       ) -> ProfileReport:
+                       profiler: Optional[cProfile.Profile] = None,
+                       backend: Optional[str] = None) -> ProfileReport:
     """Regenerate ``experiment`` under cProfile and report hotspots.
 
     The result cache is disabled for the duration (a cache hit would
     profile pickle loads, not the simulator) and runs stay in-process
-    (``jobs=1``) so the profiler sees every event.
+    (``jobs=1``) so the profiler sees every event.  ``backend`` selects
+    the execution backend (scalar/vector) for every run in the
+    experiment via ``$REPRO_BACKEND``; the default inherits whatever
+    the environment already selects.
+
+    Events/sec is computed over the *kernel* wall time: cache-warm
+    seconds (``Runner.warm`` / snapshot restores, tracked by the
+    process-wide wall split) are reported separately and excluded —
+    warming is dataset construction, not event-loop work, and earlier
+    versions understated the event loop by charging it.
     """
     if top < 1:
         raise ReproError("profile needs at least one hotspot row")
+    from repro.core.runner import wall_split_totals  # deferred: heavy
     from repro.harness import EXPERIMENTS, resolve_scale  # deferred: heavy
+    from repro.sim.vector import ENV_VAR, resolve_backend
 
     try:
         runner = EXPERIMENTS[experiment]
@@ -141,16 +158,19 @@ def profile_experiment(experiment: str, scale: str = "quick",
         raise ReproError(
             f"unknown experiment {experiment!r}; known: {known}"
         ) from None
+    backend = resolve_backend(backend)
 
     profiler = profiler if profiler is not None else cProfile.Profile()
     # Disable both caching layers for the duration: a result-cache hit
     # would profile pickle loads, and a warm-state snapshot restore
     # would hide the warmup the profiler is supposed to attribute.
     saved_env = {name: os.environ.get(name)
-                 for name in ("REPRO_CACHE", "REPRO_SNAPSHOT")}
+                 for name in ("REPRO_CACHE", "REPRO_SNAPSHOT", ENV_VAR)}
     os.environ["REPRO_CACHE"] = "0"
     os.environ["REPRO_SNAPSHOT"] = "0"
+    os.environ[ENV_VAR] = backend
     events_before = total_events_executed()
+    warm_before = wall_split_totals()["warm_seconds"]
     wall_start = time.perf_counter()
     try:
         profiler.enable()
@@ -166,18 +186,22 @@ def profile_experiment(experiment: str, scale: str = "quick",
                 os.environ[name] = value
     wall_seconds = time.perf_counter() - wall_start
     events = total_events_executed() - events_before
+    warm_wall = wall_split_totals()["warm_seconds"] - warm_before
+    kernel_wall = max(wall_seconds - warm_wall, 0.0)
 
     stats = pstats.Stats(profiler)
     return ProfileReport(
         experiment=experiment,
         scale=scale,
-        wall_seconds=wall_seconds,
+        wall_seconds=kernel_wall,
         total_calls=stats.total_calls,  # type: ignore[attr-defined]
         events_executed=events,
-        events_per_second=(events / wall_seconds
-                           if wall_seconds > 0 else 0.0),
+        events_per_second=(events / kernel_wall
+                           if kernel_wall > 0 else 0.0),
         hotspots=hotspots_from_stats(stats, top=top),
         config_preset=resolve_scale(scale).name,
+        warm_wall_seconds=warm_wall,
+        backend=backend,
     )
 
 
@@ -294,3 +318,197 @@ def bench_sweep(experiment: str = "fig1", scale: str = "quick",
         speedup=(t_off / t_on if t_on > 0 else 0.0),
         config_preset=resolve_scale(scale).name,
     )
+
+
+# ------------------------------------------------------------ kernel bench --
+
+#: Bump when the JSON layout of :class:`KernelBench` changes so CI
+#: consumers of ``BENCH_kernel.json`` can detect incompatible files.
+KERNEL_BENCH_SCHEMA_VERSION = 1
+
+#: Kernel-bench request length (arrayswap ``ops_per_job``).  Long
+#: requests keep the bench inside the batch-execution kernel rather
+#: than per-request bookkeeping; 48 ops = 192 steps per request.
+KERNEL_BENCH_OPS_PER_JOB = 48
+
+#: The kernel bench runs a measurement window this many times the
+#: harness scale's: steady-state events/s needs enough steps for the
+#: fixed per-run costs (RNG bridge, planning probe) to amortize.
+KERNEL_BENCH_WINDOW_FACTOR = 4.0
+
+
+@dataclass
+class KernelBackendEntry:
+    """One backend's timed kernel run (best-of-``repeat`` wall)."""
+
+    backend: str
+    wall_seconds: float
+    events_executed: int
+    events_per_second: float
+    state_fingerprint: str
+    vector_stats: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class KernelBench:
+    """Scalar-vs-vector kernel throughput on one pinned configuration.
+
+    The configuration is the *batch-execution kernel* shape: DRAM-only,
+    one core, closed-loop arrayswap with long requests
+    (:data:`KERNEL_BENCH_OPS_PER_JOB`), a widened measurement window
+    (:data:`KERNEL_BENCH_WINDOW_FACTOR`).  Both backends replay the
+    identical simulation — ``bit_identical`` asserts the
+    ``state_fingerprint`` and deterministic result fields match — so
+    ``speedup`` (vector/scalar events-per-second) is apples-to-apples.
+    """
+
+    workload: str
+    scale: str
+    config_preset: str
+    ops_per_job: int
+    repeat: int
+    entries: List[KernelBackendEntry] = field(default_factory=list)
+    bit_identical: Optional[bool] = None  # None until both backends ran
+    speedup: Optional[float] = None       # vector/scalar events-per-sec
+    schema_version: int = KERNEL_BENCH_SCHEMA_VERSION
+
+    def entry(self, backend: str) -> KernelBackendEntry:
+        for item in self.entries:
+            if item.backend == backend:
+                return item
+        raise ReproError(f"no {backend!r} entry in this kernel bench")
+
+    def format_text(self) -> str:
+        lines = [
+            f"kernel bench: {self.workload} on {self.config_preset} "
+            f"(scale={self.scale}, ops_per_job={self.ops_per_job}, "
+            f"best of {self.repeat})",
+        ]
+        for item in self.entries:
+            lines.append(
+                f"  {item.backend:<7} {item.wall_seconds * 1e3:8.2f} ms   "
+                f"{item.events_executed:>10,} events   "
+                f"{item.events_per_second:>12,.0f} events/s"
+            )
+        if self.bit_identical is not None:
+            lines.append(f"  bit-identical   {self.bit_identical}")
+        if self.speedup is not None:
+            lines.append(f"  speedup         {self.speedup:.2f}x "
+                         "(vector/scalar events per second)")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        # repro.jsonutil: non-finite floats serialize as null, never as
+        # the non-standard Infinity/NaN tokens json.dumps would emit.
+        return json_dumps(asdict(self))
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json() + "\n")
+
+
+#: SimulationResult fields that depend on wall clock or warm-state
+#: provenance; everything else must match bit-for-bit across backends.
+_NONDETERMINISTIC_RESULT_FIELDS = (
+    "events_per_second", "wall_seconds", "warm_wall_seconds", "warm_source",
+)
+
+
+def canonical_result_dict(result) -> Dict[str, object]:
+    """``result`` as a dict with the wall-clock-dependent fields
+    removed — the cross-backend bit-identity comparison surface."""
+    payload = dict(result.__dict__)
+    for name in _NONDETERMINISTIC_RESULT_FIELDS:
+        payload.pop(name, None)
+    return payload
+
+
+def bench_kernel(scale: str = "quick",
+                 backends: Sequence[str] = ("scalar", "vector"),
+                 repeat: int = 3,
+                 ops_per_job: int = KERNEL_BENCH_OPS_PER_JOB) -> KernelBench:
+    """Time the batch-execution kernel on each backend.
+
+    Each timed run builds a fresh workload and runner (simulation state
+    is single-use), executes once, and keeps the best-of-``repeat``
+    wall.  Events/s uses the runner's own measurement wall, which
+    excludes warmup by construction.  When both backends run, the
+    fingerprints and deterministic result fields are compared on
+    *every* repeat — a single divergent run fails the bench rather
+    than averaging away.
+    """
+    from repro.config import make_config  # deferred: heavy
+    from repro.core import Runner
+    from repro.harness import resolve_scale
+    from repro.sim import vector
+    from repro.units import US
+    from repro.workloads import make_workload
+
+    if repeat < 1:
+        raise ReproError("kernel bench needs at least one repeat")
+    for name in backends:
+        vector.resolve_backend(name)  # validate early
+
+    harness_scale = resolve_scale(scale)
+
+    def one_run(backend: str):
+        config = make_config("dram-only")
+        config.num_cores = 1
+        config.scale.dataset_pages = harness_scale.dataset_pages
+        config.scale.warmup_ns = harness_scale.warmup_us * US
+        config.scale.measurement_ns = (harness_scale.measurement_us
+                                       * KERNEL_BENCH_WINDOW_FACTOR * US)
+        workload = make_workload("arrayswap", harness_scale.dataset_pages,
+                                 seed=42, zipf_s=harness_scale.zipf_s,
+                                 ops_per_job=ops_per_job)
+        runner = Runner(config, workload, backend=backend)
+        before = total_events_executed()
+        result = runner.run()
+        events = total_events_executed() - before
+        return (result, events, runner.machine.state_fingerprint())
+
+    bench = KernelBench(
+        workload="arrayswap",
+        scale=harness_scale.name,
+        config_preset="dram-only",
+        ops_per_job=ops_per_job,
+        repeat=repeat,
+    )
+    baseline = None  # (fingerprint, canonical result) of the first run
+    identical = True
+    for backend in backends:
+        best_wall = None
+        events = 0
+        fingerprint = ""
+        stats_before = vector.stats()
+        for _ in range(repeat):
+            result, events, fingerprint = one_run(backend)
+            wall = result.wall_seconds
+            best_wall = wall if best_wall is None else min(best_wall, wall)
+            canonical = canonical_result_dict(result)
+            if baseline is None:
+                baseline = (fingerprint, canonical)
+            elif (fingerprint, canonical) != baseline:
+                identical = False
+        stats_after = vector.stats()
+        bench.entries.append(KernelBackendEntry(
+            backend=backend,
+            wall_seconds=best_wall,
+            events_executed=events,
+            events_per_second=(events / best_wall if best_wall > 0 else 0.0),
+            state_fingerprint=fingerprint,
+            vector_stats={key: stats_after[key] - stats_before.get(key, 0)
+                          for key in stats_after} if backend == "vector"
+            else {},
+        ))
+    if len(bench.entries) >= 2:
+        bench.bit_identical = identical
+        try:
+            scalar_eps = bench.entry("scalar").events_per_second
+            vector_eps = bench.entry("vector").events_per_second
+        except ReproError:
+            pass  # exotic backend list; ratio undefined
+        else:
+            bench.speedup = (vector_eps / scalar_eps
+                             if scalar_eps > 0 else 0.0)
+    return bench

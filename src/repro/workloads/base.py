@@ -87,6 +87,9 @@ class Workload:
         # Bound method: _compute runs once per generated step.
         self._rng_random = self._rng.random
         self._next_job_id = 0
+        # Lazily-created buffered RNG bridge for numpy planners
+        # (repro.sim.vector.BatchedRandom); see _planner_rng().
+        self._vector_rng = None
 
     # -- job production -----------------------------------------------------
 
@@ -99,6 +102,48 @@ class Workload:
 
     def _steps_for_job(self, job_id: int) -> Iterator[Step]:
         raise NotImplementedError
+
+    # -- vector-backend planning (repro.sim.vector) ---------------------------
+
+    def plan_steps(self, job: "Job"):
+        """Materialize ``job``'s steps as parallel columns.
+
+        Returns ``(compute_ns, pages, is_write)`` — plain Python lists
+        (no numpy scalars: pages flow into dict keys and state dumps
+        that must repr identically to the scalar path).  The base
+        implementation drains the job's own generator, so the RNG
+        draws are the scalar draws by construction; subclasses with
+        block-drawable streams (see
+        :meth:`repro.workloads.arrayswap.ArraySwapWorkload.plan_steps`)
+        override it with a numpy planner that consumes the same
+        streams in the same order.  The job's step iterator is spent
+        afterwards; the vector backend executes from the columns.
+        """
+        compute: List[float] = []
+        pages: List[int] = []
+        writes: List[bool] = []
+        for step in job.steps:
+            compute.append(step.compute_ns)
+            pages.append(step.page)
+            writes.append(step.is_write)
+        return compute, pages, writes
+
+    def _planner_rng(self):
+        """Persistent buffered bridge over ``self._rng`` for numpy
+        planners.  Amortizes the Mersenne-Twister state transplant
+        across jobs; the vector backend calls :meth:`plan_sync` at end
+        of run to land the Python stream on the consumed position."""
+        rng = self._vector_rng
+        if rng is None:
+            from repro.sim.vector import BatchedRandom
+
+            rng = self._vector_rng = BatchedRandom(self._rng)
+        return rng
+
+    def plan_sync(self) -> None:
+        """Resynchronize ``self._rng`` after buffered planner draws."""
+        if self._vector_rng is not None:
+            self._vector_rng.sync()
 
     # -- calibration helpers -------------------------------------------------
 

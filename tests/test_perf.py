@@ -100,8 +100,10 @@ class TestProfileExperiment:
         assert len(report.hotspots) <= 5
 
     def test_report_is_stamped_with_config_preset(self):
+        from repro.perf import PROFILE_SCHEMA_VERSION
+
         report = profile_experiment("table1", top=1)
-        assert report.schema_version == 1
+        assert report.schema_version == PROFILE_SCHEMA_VERSION
         assert report.config_preset == "quick"
 
     def test_cache_env_is_restored(self):

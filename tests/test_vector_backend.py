@@ -1,0 +1,447 @@
+"""Tests for the vectorized batch-execution backend (DESIGN.md §4h).
+
+The backend's contract is *bit-identity*: on every evaluated preset x
+workload pair, a ``backend="vector"`` run must produce the same
+:meth:`Machine.state_fingerprint` and the same deterministic
+:class:`SimulationResult` fields as the scalar golden reference —
+whether the vector engine actually engages (DRAM-only fused loop,
+Flash-Sync job-epoch loop) or silently falls back (multi-core,
+open-loop, tracing, fault plans).  The sweep below pins that property;
+the unit tests cover the batched primitives the loops are built from
+(RNG bridge, zipf blocks, tag-probe runs, flash read batches, engine
+batch advance) and the kernel bench that reports the speedup.
+"""
+
+import json
+import os
+import random
+
+import numpy as np
+import pytest
+
+from repro import perf
+from repro.cli import main
+from repro.config import EVALUATED_CONFIG_NAMES, make_config
+from repro.core import Runner
+from repro.errors import ConfigurationError
+from repro.harness.common import HarnessScale, build_config
+from repro.sim import vector
+from repro.sim.engine import Engine
+from repro.sim.vector import BatchedRandom, uniform_block
+from repro.units import US
+from repro.workloads import EVALUATED_WORKLOADS, PoissonArrivals, \
+    make_workload
+from repro.workloads.zipf import ZipfianGenerator
+
+SEED = 17
+
+# Small enough that one run takes a fraction of a second, large enough
+# that every run crosses warmup, retires jobs, and truncates one.
+TINY = HarnessScale(
+    name="vec-tiny", dataset_pages=2048, num_cores=1, warmup_us=100.0,
+    measurement_us=500.0, zipf_s=1.8, workloads=EVALUATED_WORKLOADS,
+)
+
+
+def run_once(config_name, workload_name, backend, cores=1,
+             arrivals=None, scale=TINY, seed=SEED, faults=False,
+             workload_kwargs=None):
+    config = build_config(config_name, scale)
+    config.num_cores = cores
+    if faults:
+        config.faults.enabled = True
+        config.faults.rber = 1e-4
+    workload = make_workload(workload_name, scale.dataset_pages,
+                             seed=seed, zipf_s=scale.zipf_s,
+                             **(workload_kwargs or {}))
+    runner = Runner(config, workload, arrivals=arrivals, backend=backend)
+    result = runner.run()
+    return runner, result
+
+
+def identity_surface(runner, result):
+    return (runner.machine.state_fingerprint(),
+            perf.canonical_result_dict(result))
+
+
+# ------------------------------------------------------- identity sweep --
+
+
+@pytest.mark.parametrize("config_name", EVALUATED_CONFIG_NAMES)
+@pytest.mark.parametrize("workload_name", EVALUATED_WORKLOADS)
+def test_vector_bit_identical_to_scalar(config_name, workload_name):
+    """Every preset x workload: same fingerprint, same deterministic
+    result fields, single-core (the vector-engaged shapes)."""
+    scalar = identity_surface(*run_once(config_name, workload_name,
+                                        "scalar"))
+    vec = identity_surface(*run_once(config_name, workload_name,
+                                     "vector"))
+    assert vec == scalar
+
+
+@pytest.mark.parametrize("config_name", ["dram-only", "flash-sync"])
+def test_vector_multicore_falls_back_bit_identical(config_name):
+    vector.reset_stats()
+    scalar = identity_surface(*run_once(config_name, "arrayswap",
+                                        "scalar", cores=2))
+    vec = identity_surface(*run_once(config_name, "arrayswap",
+                                     "vector", cores=2))
+    assert vec == scalar
+    assert vector.stats()["scalar_fallbacks"] == 1
+    assert "multi-core" in vector.last_fallback_reason()
+
+
+def test_fused_loop_engages_on_dram_only():
+    vector.reset_stats()
+    run_once("dram-only", "arrayswap", "vector")
+    stats = vector.stats()
+    assert stats["fused_runs"] == 1
+    assert stats["scalar_fallbacks"] == 0
+    assert stats["batched_jobs"] > 0
+    assert stats["batched_steps"] > 0
+
+
+def test_job_epoch_loop_engages_on_flash_sync():
+    vector.reset_stats()
+    run_once("flash-sync", "arrayswap", "vector")
+    stats = vector.stats()
+    assert stats["job_epoch_runs"] == 1
+    assert stats["hit_run_probes"] > 0
+
+
+def test_truncated_final_job_matches_scalar_live_set():
+    """The window cuts off one in-flight job; the vector path must
+    leave exactly the job the scalar path leaves (it feeds the
+    unfinished/inflight/backlog result fields)."""
+    rs, res_s = run_once("dram-only", "arrayswap", "scalar")
+    rv, res_v = run_once("dram-only", "arrayswap", "vector")
+    assert res_s.unfinished_jobs == 1
+    assert sorted(rs._live_jobs) == sorted(rv._live_jobs)
+    assert res_v.unfinished_jobs == res_s.unfinished_jobs
+
+
+# ------------------------------------------------------ fallback gates --
+
+
+def test_open_loop_falls_back_bit_identical():
+    vector.reset_stats()
+
+    def arrivals():
+        return PoissonArrivals(40.0 * US, seed=SEED + 1)
+
+    scalar = identity_surface(*run_once("dram-only", "arrayswap",
+                                        "scalar", arrivals=arrivals()))
+    vec = identity_surface(*run_once("dram-only", "arrayswap",
+                                     "vector", arrivals=arrivals()))
+    assert vec == scalar
+    assert vector.stats()["scalar_fallbacks"] == 1
+    assert "open-loop" in vector.last_fallback_reason()
+
+
+def test_trace_exhaustion_falls_back_bit_identical():
+    """A trace that runs dry mid-window ends the arrival stream inside
+    what would be an epoch; classify routes it to the scalar path."""
+    from repro.workloads.arrival import TraceArrivals
+
+    vector.reset_stats()
+
+    def arrivals():
+        # Exhausts partway through the measurement window.
+        return TraceArrivals([25.0 * US] * 12)
+
+    scalar = identity_surface(*run_once("dram-only", "arrayswap",
+                                        "scalar", arrivals=arrivals()))
+    vec = identity_surface(*run_once("dram-only", "arrayswap",
+                                     "vector", arrivals=arrivals()))
+    assert vec == scalar
+    assert vector.stats()["scalar_fallbacks"] == 1
+    assert "open-loop" in vector.last_fallback_reason()
+
+
+def test_fault_plan_falls_back_bit_identical():
+    vector.reset_stats()
+    scalar = identity_surface(*run_once("flash-sync", "arrayswap",
+                                        "scalar", faults=True))
+    vec = identity_surface(*run_once("flash-sync", "arrayswap",
+                                     "vector", faults=True))
+    assert vec == scalar
+    assert vector.stats()["scalar_fallbacks"] == 1
+    assert "fault plan" in vector.last_fallback_reason()
+
+
+def test_tracer_falls_back():
+    from repro.obs import tracer as tracer_mod
+
+    vector.reset_stats()
+    tracer = tracer_mod.Tracer()
+    tracer_mod.enable(tracer)
+    try:
+        run_once("dram-only", "arrayswap", "vector")
+    finally:
+        tracer_mod.disable()
+    assert vector.stats()["scalar_fallbacks"] == 1
+    assert "tracing" in vector.last_fallback_reason()
+
+
+def test_multiplexed_modes_fall_back():
+    vector.reset_stats()
+    run_once("astriflash", "arrayswap", "vector")
+    assert vector.stats()["scalar_fallbacks"] == 1
+    assert "multiplexes" in vector.last_fallback_reason()
+
+
+# ------------------------------------------------------ backend choice --
+
+
+class TestResolveBackend:
+    def test_default_is_scalar(self, monkeypatch):
+        monkeypatch.delenv(vector.ENV_VAR, raising=False)
+        assert vector.resolve_backend() == "scalar"
+
+    def test_env_var_selects(self, monkeypatch):
+        monkeypatch.setenv(vector.ENV_VAR, "vector")
+        assert vector.resolve_backend() == "vector"
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(vector.ENV_VAR, "vector")
+        assert vector.resolve_backend("scalar") == "scalar"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ConfigurationError):
+            vector.resolve_backend("simd")
+
+    def test_env_run_is_bit_identical(self, monkeypatch):
+        monkeypatch.delenv(vector.ENV_VAR, raising=False)
+        scalar = identity_surface(*run_once("dram-only", "tatp",
+                                            "scalar"))
+        monkeypatch.setenv(vector.ENV_VAR, "vector")
+        vec = identity_surface(*run_once("dram-only", "tatp", None))
+        assert vec == scalar
+
+
+# -------------------------------------------------- batched primitives --
+
+
+class TestBatchedRandom:
+    def test_matches_python_stream(self):
+        reference = random.Random(123)
+        expected = [reference.random() for _ in range(1000)]
+        bridged = BatchedRandom(random.Random(123), block=64)
+        produced = []
+        for size in (1, 7, 64, 128, 300, 500):
+            produced.extend(bridged.take(size).tolist())
+        assert produced == expected[:len(produced)]
+
+    def test_sync_lands_python_rng_on_consumed_position(self):
+        rng = random.Random(9)
+        bridged = BatchedRandom(rng, block=32)
+        served = bridged.take(50)
+        bridged.sync()
+        reference = random.Random(9)
+        for value in served.tolist():
+            assert reference.random() == value
+        # After sync the two streams continue in lockstep.
+        assert rng.random() == reference.random()
+
+    def test_take_larger_than_block(self):
+        reference = random.Random(5)
+        expected = [reference.random() for _ in range(500)]
+        bridged = BatchedRandom(random.Random(5), block=16)
+        assert bridged.take(500).tolist() == expected
+
+    def test_uniform_block_advances_python_stream(self):
+        rng = random.Random(77)
+        block = uniform_block(rng, 10)
+        reference = random.Random(77)
+        assert block.tolist() == [reference.random() for _ in range(10)]
+        assert rng.random() == reference.random()
+
+
+def test_zipf_sample_block_matches_scalar_stream():
+    scalar = ZipfianGenerator(4096, 1.6, seed=3)
+    expected = [scalar.sample() for _ in range(400)]
+    batched = ZipfianGenerator(4096, 1.6, seed=3)
+    produced = list(batched.sample_block(150))
+    produced += [batched.sample() for _ in range(50)]  # interleave
+    produced += list(batched.sample_block(200))
+    assert produced == expected
+    assert all(isinstance(page, int) and not isinstance(page, np.integer)
+               for page in produced)
+
+
+def test_lookup_many_matches_scalar_lookups():
+    def fresh():
+        config = make_config("flash-sync")
+        config.scale.dataset_pages = 512
+        from repro.core.machine import Machine
+
+        return Machine(config)
+
+    pages = [i % 96 for i in range(64)]
+    writes = [i % 3 == 0 for i in range(64)]
+
+    scalar_machine = fresh()
+    vector_machine = fresh()
+    for machine in (scalar_machine, vector_machine):
+        machine.dram_cache.warm(range(48))
+
+    org_s = scalar_machine.dram_cache.organization
+    org_v = vector_machine.dram_cache.organization
+    hits = 0
+    for page, write in zip(pages, writes):
+        if not org_s.lookup(page, write):
+            break
+        hits += 1
+    assert org_v.lookup_many(pages, writes) == hits
+    assert org_s.dump_state() != org_v.dump_state()  # missing probe differs
+    # Replaying the miss through the scalar probe reconverges the state.
+    org_v.lookup(pages[hits], writes[hits])
+    assert org_s.dump_state() == org_v.dump_state()
+
+
+def test_plane_of_many_matches_plane_of():
+    config = make_config("flash-sync")
+    config.scale.dataset_pages = 256
+    from repro.core.machine import Machine
+
+    machine = Machine(config)
+    ftl = machine.flash.ftl
+    pages = list(range(0, 256, 3))
+    assert ftl.plane_of_many(pages) == [ftl.plane_of(p) for p in pages]
+    assert ftl.plane_of_many([]) == []
+
+
+def test_read_many_matches_sequential_reads():
+    def run_reads(batched: bool):
+        config = make_config("flash-sync")
+        config.scale.dataset_pages = 256
+        from repro.core.machine import Machine
+
+        machine = Machine(config)
+        engine = machine.engine
+        pages = [7, 19, 7, 130, 64]
+        if batched:
+            signals = machine.flash.read_many(pages)
+        else:
+            signals = [machine.flash.read(page) for page in pages]
+        engine.run()
+        done = [(signal.value.logical_page, signal.value.plane_index,
+                 signal.value.complete_time) for signal in signals]
+        return done, engine.events_executed
+
+    assert run_reads(True) == run_reads(False)
+
+
+class TestAdvanceBatch:
+    def test_advances_clock_and_event_tally(self):
+        engine = Engine()
+        before = engine.events_executed
+        engine.advance_batch(125.0, 40)
+        assert engine.now == 125.0
+        assert engine.events_executed - before == 40
+
+    def test_rejects_backward_time(self):
+        engine = Engine()
+        engine.advance_batch(50.0, 1)
+        with pytest.raises(Exception):
+            engine.advance_batch(25.0, 1)
+
+    def test_rejects_negative_events(self):
+        engine = Engine()
+        with pytest.raises(Exception):
+            engine.advance_batch(10.0, -1)
+
+
+# ------------------------------------------------------- kernel bench --
+
+
+class TestKernelBench:
+    def test_bench_kernel_compares_backends(self):
+        bench = perf.bench_kernel(scale=TINY, repeat=1)
+        assert [entry.backend for entry in bench.entries] == \
+            ["scalar", "vector"]
+        assert bench.bit_identical is True
+        assert bench.speedup is not None and bench.speedup > 0.0
+        scalar, vec = bench.entries
+        assert scalar.events_executed == vec.events_executed > 0
+        assert scalar.state_fingerprint == vec.state_fingerprint
+        assert vec.vector_stats["fused_runs"] >= 1
+        assert scalar.vector_stats == {}
+
+    def test_single_backend_has_no_identity_verdict(self):
+        bench = perf.bench_kernel(scale=TINY, backends=("vector",),
+                                  repeat=1)
+        assert bench.bit_identical is None
+        assert bench.speedup is None
+        assert len(bench.entries) == 1
+
+    def test_json_round_trip_carries_schema_stamp(self, tmp_path):
+        bench = perf.bench_kernel(scale=TINY, repeat=1)
+        path = tmp_path / "BENCH_kernel.json"
+        bench.write_json(str(path))
+        data = json.loads(path.read_text())
+        assert data["schema_version"] == perf.KERNEL_BENCH_SCHEMA_VERSION
+        assert {entry["backend"] for entry in data["entries"]} == \
+            {"scalar", "vector"}
+        assert data["bit_identical"] is True
+
+    def test_invalid_repeat_raises(self):
+        with pytest.raises(Exception):
+            perf.bench_kernel(scale=TINY, repeat=0)
+
+    def test_cli_bench_kernel_writes_json(self, tmp_path, capsys,
+                                          monkeypatch):
+        # Shrink the bench so the CLI test stays fast.
+        monkeypatch.setattr(perf, "KERNEL_BENCH_WINDOW_FACTOR", 0.25)
+        out = tmp_path / "BENCH_kernel.json"
+        assert main(["bench-kernel", "--compare", "--repeat", "1",
+                     "--json", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "speedup" in captured
+        assert "bit-identical   True" in captured
+        data = json.loads(out.read_text())
+        assert len(data["entries"]) == 2
+
+
+# --------------------------------------------------- profile warm wall --
+
+
+def test_profile_excludes_warm_wall(monkeypatch):
+    """events/s must be computed over the kernel wall, not warm time."""
+    import time as time_mod
+
+    from repro.core import runner as runner_mod
+    from repro.harness import EXPERIMENTS
+
+    def fake_experiment(scale="quick", jobs=1):
+        start = time_mod.perf_counter()
+        while time_mod.perf_counter() - start < 0.02:
+            pass
+        runner_mod._WALL_TOTALS["warm_seconds"] += 0.02
+
+    monkeypatch.setitem(EXPERIMENTS, "warmy", fake_experiment)
+    report = perf.profile_experiment("warmy", top=1)
+    assert report.warm_wall_seconds == pytest.approx(0.02)
+    assert report.wall_seconds < 0.02  # warm time subtracted out
+    assert report.backend == "scalar"
+    assert report.schema_version == perf.PROFILE_SCHEMA_VERSION
+
+
+def test_profile_backend_env_is_restored(monkeypatch):
+    from repro.harness import EXPERIMENTS
+
+    monkeypatch.setitem(EXPERIMENTS, "noop", lambda scale, jobs: None)
+    monkeypatch.setenv(vector.ENV_VAR, "scalar")
+    perf.profile_experiment("noop", top=1, backend="vector")
+    assert os.environ[vector.ENV_VAR] == "scalar"
+
+
+# ----------------------------------------------------- numpy contract --
+
+
+def test_numpy_meets_declared_lower_bound():
+    """pyproject declares numpy>=1.22 (RandomState MT19937 bridge and
+    sliceable memoryview semantics the backend relies on)."""
+    major, minor = (int(part) for part in
+                    np.__version__.split(".")[:2])
+    assert (major, minor) >= (1, 22)
