@@ -14,11 +14,21 @@ Commands:
 * ``cache clean``                 — wipe or LRU-prune ``.repro_cache/``
 * ``simulate``                    — one ad-hoc simulation run
 * ``workloads`` / ``configs``     — list registries
+* ``history``                     — list/filter the run ledger
+* ``diff <A> <B>``                — per-metric deltas between two runs
+* ``regress --baseline FILE``     — pass/fail gate for CI
+* ``dashboard``                   — static HTML observatory page
 
 Sweep commands accept ``--no-snapshot`` / ``--snapshot-dir PATH`` to
 control warm-state snapshot reuse (default: on, under the result-cache
 directory); the flags set the ``REPRO_SNAPSHOT`` / ``REPRO_SNAPSHOT_DIR``
 environment the harness reads.
+
+Every measuring verb (``report``, ``profile``, ``bench-kernel``,
+``bench-sweep``, ``chaos``, ``loadgen``, ``simulate``) appends a
+:class:`repro.metrics.RunRecord` to ``.repro_runs/ledger.jsonl``
+(``$REPRO_RUNS_DIR`` overrides the directory, ``REPRO_LEDGER=0``
+disables); appends are best-effort and never fail the verb.
 """
 
 from __future__ import annotations
@@ -29,6 +39,7 @@ import sys
 from typing import List, Optional
 
 from repro.config import EVALUATED_CONFIG_NAMES, make_config
+from repro.jsonutil import dumps as json_dumps
 from repro.core import Runner
 from repro.harness import EXPERIMENTS, run_experiment
 from repro.units import US
@@ -288,6 +299,89 @@ def _build_parser() -> argparse.ArgumentParser:
                             choices=("scalar", "vector"),
                             help="execution backend (default: "
                                  "$REPRO_BACKEND or scalar)")
+
+    ledger_help = ("ledger file (default: $REPRO_RUNS_DIR/ledger.jsonl "
+                   "or .repro_runs/ledger.jsonl)")
+
+    history_parser = commands.add_parser(
+        "history", help="list the run ledger (every measuring verb "
+                        "appends one record per invocation)")
+    history_parser.add_argument("--verb", default="",
+                                help="filter by CLI verb")
+    history_parser.add_argument("--experiment", default="",
+                                help="filter by experiment")
+    history_parser.add_argument("--preset", default="",
+                                help="filter by config preset")
+    history_parser.add_argument("--workload", default="",
+                                help="filter by workload")
+    history_parser.add_argument("--backend", default="",
+                                help="filter by backend")
+    history_parser.add_argument("--last", type=int, default=None,
+                                metavar="N",
+                                help="show only the newest N records")
+    history_parser.add_argument("--ledger", default=None, metavar="PATH",
+                                help=ledger_help)
+    history_parser.add_argument("--json", dest="json_out",
+                                action="store_true",
+                                help="emit the records as JSON")
+
+    diff_parser = commands.add_parser(
+        "diff", help="per-metric deltas between two runs (ledger "
+                     "index, record-id prefix, or bench JSON path)")
+    diff_parser.add_argument("baseline",
+                             help="baseline run: ledger index (-1 = "
+                                  "newest), record-id prefix, or JSON "
+                                  "file")
+    diff_parser.add_argument("current", help="current run (same forms)")
+    diff_parser.add_argument("--threshold", type=float, default=None,
+                             metavar="FRAC",
+                             help="relative-change noise threshold "
+                                  "(default 0.05)")
+    diff_parser.add_argument("--all", dest="show_all",
+                             action="store_true",
+                             help="also list within-noise metrics")
+    diff_parser.add_argument("--ledger", default=None, metavar="PATH",
+                             help=ledger_help)
+    diff_parser.add_argument("--json", dest="json_out",
+                             action="store_true",
+                             help="emit the diff as JSON")
+
+    regress_parser = commands.add_parser(
+        "regress", help="machine-readable pass/fail against a committed "
+                        "baseline (exit 0 pass, 1 regression, 2 error)")
+    regress_parser.add_argument("--baseline", required=True,
+                                metavar="PATH",
+                                help="baseline file: a ledger-record "
+                                     "dump or any BENCH_*/PROFILE_* "
+                                     "JSON (policies ride along)")
+    regress_parser.add_argument("--current", default=None, metavar="PATH",
+                                help="run to gate (default: the newest "
+                                     "ledger record matching the "
+                                     "baseline's verb)")
+    regress_parser.add_argument("--threshold", type=float, default=None,
+                                metavar="FRAC",
+                                help="relative-change noise threshold "
+                                     "(default 0.05)")
+    regress_parser.add_argument("--ledger", default=None, metavar="PATH",
+                                help=ledger_help)
+    regress_parser.add_argument("--json", dest="json_out", default=None,
+                                metavar="PATH",
+                                help="also write the verdict as JSON")
+
+    dash_parser = commands.add_parser(
+        "dashboard", help="render the ledger + BENCH_*.json files as a "
+                          "self-contained static HTML page (inline SVG, "
+                          "no external dependencies)")
+    dash_parser.add_argument("--out", default="report.html",
+                             help="output HTML path (default "
+                                  "report.html)")
+    dash_parser.add_argument("--ledger", default=None, metavar="PATH",
+                             help=ledger_help)
+    dash_parser.add_argument("--bench", nargs="*", default=None,
+                             metavar="PATH",
+                             help="bench JSON files to render (default: "
+                                  "scan the working directory for "
+                                  "BENCH_*.json / PROFILE_*.json)")
     return parser
 
 
@@ -298,6 +392,38 @@ def _apply_snapshot_flags(args: argparse.Namespace) -> None:
         os.environ["REPRO_SNAPSHOT"] = "0"
     if getattr(args, "snapshot_dir", None):
         os.environ["REPRO_SNAPSHOT_DIR"] = args.snapshot_dir
+
+
+def _append_ledger(verb: str, **fields) -> None:
+    """Best-effort run-ledger append: the ledger is observability, so
+    an IO failure (read-only checkout, full disk) warns and moves on
+    instead of failing the verb that did the real work."""
+    try:
+        from repro.metrics import append_record, ledger_enabled, make_record
+
+        if not ledger_enabled():
+            return
+        append_record(make_record(verb, **fields))
+    except Exception as exc:  # noqa: BLE001 - deliberately broad
+        print(f"ledger: append failed ({exc})", file=sys.stderr)
+
+
+def _warn_vector_fallback(requested, fallbacks: int,
+                          reasons=None) -> None:
+    """One-line stderr warning when a requested ``--backend vector``
+    run silently fell back to the scalar engine."""
+    from repro.sim.vector import resolve_backend
+
+    if resolve_backend(requested) != "vector" or fallbacks <= 0:
+        return
+    if reasons:
+        detail = "; ".join(f"{reason} x{count}" for reason, count
+                           in sorted(dict(reasons).items()))
+    else:
+        from repro.sim.vector import last_fallback_reason
+        detail = last_fallback_reason() or "unsupported run shape"
+    print(f"warning: vector backend fell back to scalar for "
+          f"{fallbacks} run(s): {detail}", file=sys.stderr)
 
 
 def cmd_experiments() -> int:
@@ -333,14 +459,32 @@ def cmd_run_all(scale: str, jobs: Optional[int]) -> int:
 
 def cmd_report(scale: str, out: str, jobs: Optional[int],
                telemetry: bool = False) -> int:
-    from repro.harness.report import generate
+    import time
 
-    generate(
+    from repro.harness.report import generate
+    from repro.sim.engine import total_events_executed
+
+    events_before = total_events_executed()
+    wall_start = time.perf_counter()
+    results = generate(
         EXPERIMENTS, scale=scale, jobs=jobs, out=out,
         header=(f"AstriFlash reproduction report (scale={scale}) — "
                 "every paper table/figure regenerated"),
     )
+    wall_seconds = time.perf_counter() - wall_start
+    events = total_events_executed() - events_before
     print(f"wrote {out}")
+    from repro.metrics import metrics_from_experiments
+
+    metrics, fingerprint = metrics_from_experiments(results)
+    _append_ledger(
+        "report", experiment=",".join(EXPERIMENTS), scale=scale,
+        metrics=metrics, fingerprint=fingerprint,
+        wall_seconds=wall_seconds,
+        events_per_second=(events / wall_seconds
+                           if events and wall_seconds > 0 else 0.0),
+        artifacts=[out],
+    )
     if telemetry:
         breakdown = _telemetry_breakdown(scale)
         print()
@@ -420,6 +564,16 @@ def cmd_profile(experiment: str, scale: str, top: int,
     if json_out is not None:
         report.write_json(json_out)
         print(f"wrote {json_out}")
+    _warn_vector_fallback(report.backend, report.scalar_fallbacks,
+                          report.fallback_reasons)
+    _append_ledger(
+        "profile", experiment=experiment, scale=scale,
+        preset=report.config_preset, backend=report.backend,
+        metrics=report.key_metrics(),
+        wall_seconds=report.wall_seconds,
+        events_per_second=report.events_per_second,
+        artifacts=[json_out] if json_out else [],
+    )
     return 0
 
 
@@ -436,6 +590,23 @@ def cmd_bench_kernel(args: argparse.Namespace) -> int:
     if args.json_out is not None:
         bench.write_json(args.json_out)
         print(f"wrote {args.json_out}")
+    for entry in bench.entries:
+        if entry.backend == "vector":
+            _warn_vector_fallback(
+                "vector", entry.vector_stats.get("scalar_fallbacks", 0),
+                entry.fallback_reasons)
+    fingerprint = bench.entries[0].state_fingerprint \
+        if bench.entries else ""
+    _append_ledger(
+        "bench-kernel", scale=bench.scale, preset=bench.config_preset,
+        workload=bench.workload,
+        backend=",".join(entry.backend for entry in bench.entries),
+        metrics=bench.key_metrics(), fingerprint=fingerprint,
+        wall_seconds=sum(entry.wall_seconds for entry in bench.entries),
+        events_per_second=(bench.entries[-1].events_per_second
+                           if bench.entries else 0.0),
+        artifacts=[args.json_out] if args.json_out else [],
+    )
     if bench.bit_identical is False:
         print("bench-kernel: backends DIVERGED (fingerprints or "
               "deterministic results differ)", file=sys.stderr)
@@ -452,6 +623,14 @@ def cmd_bench_sweep(experiment: str, scale: str,
     if json_out is not None:
         bench.write_json(json_out)
         print(f"wrote {json_out}")
+    _append_ledger(
+        "bench-sweep", experiment=experiment, scale=scale,
+        preset=bench.config_preset, metrics=bench.key_metrics(),
+        wall_seconds=bench.wall_seconds_snapshots_off
+        + bench.wall_seconds_snapshots_cold
+        + bench.wall_seconds_snapshots_on,
+        artifacts=[json_out] if json_out else [],
+    )
     return 0
 
 
@@ -470,6 +649,13 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     if args.json_out is not None:
         bench.write_json(args.json_out)
         print(f"wrote {args.json_out}")
+    _append_ledger(
+        "chaos", experiment=args.experiment, scale=bench.scale,
+        preset=bench.config_preset, workload=bench.workload,
+        seed=args.fault_seed, metrics=bench.key_metrics(),
+        fingerprint=bench.fingerprint(),
+        artifacts=[args.json_out] if args.json_out else [],
+    )
     return 0
 
 
@@ -488,6 +674,13 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     if args.json_out is not None:
         bench.write_json(args.json_out)
         print(f"wrote {args.json_out}")
+    _append_ledger(
+        "loadgen", experiment=args.experiment, scale=bench.scale,
+        preset=bench.config_preset, workload=bench.workload,
+        seed=bench.seed, metrics=bench.key_metrics(),
+        fingerprint=bench.fingerprint(),
+        artifacts=[args.json_out] if args.json_out else [],
+    )
     return 0
 
 
@@ -530,9 +723,129 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         # load while fig10/table2 used the per-core convention.
         arrivals = PoissonArrivals(args.interarrival_us * US * args.cores,
                                    seed=args.seed + 1)
-    result = Runner(config, workload, arrivals=arrivals,
-                    backend=args.backend).run()
+    from repro.sim import vector
+
+    fallbacks_before = vector.stats().get("scalar_fallbacks", 0)
+    reasons_before = vector.fallback_reasons()
+    runner = Runner(config, workload, arrivals=arrivals,
+                    backend=args.backend)
+    result = runner.run()
     print(result.describe())
+    fallbacks = (vector.stats().get("scalar_fallbacks", 0)
+                 - fallbacks_before)
+    reasons = {
+        reason: count - reasons_before.get(reason, 0)
+        for reason, count in vector.fallback_reasons().items()
+        if count > reasons_before.get(reason, 0)
+    }
+    _warn_vector_fallback(args.backend, fallbacks, reasons)
+    try:
+        from repro.metrics import machine_metrics
+        resolved = vector.resolve_backend(args.backend)
+        metrics = result.metrics(backend=resolved)
+        metrics.merge(machine_metrics(
+            runner.machine, preset=args.config,
+            workload=args.workload, backend=resolved))
+        _append_ledger(
+            "simulate", preset=args.config, workload=args.workload,
+            backend=resolved, seed=args.seed,
+            metrics=metrics.as_dict(),
+            fingerprint=runner.machine.state_fingerprint(),
+            wall_seconds=result.wall_seconds,
+            events_per_second=result.events_per_second,
+        )
+    except Exception as exc:  # noqa: BLE001 - observability only
+        print(f"ledger: append failed ({exc})", file=sys.stderr)
+    return 0
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    from repro.metrics import filter_records, ledger_path, read_ledger
+
+    path = ledger_path(args.ledger)
+    records = filter_records(
+        read_ledger(path), verb=args.verb, experiment=args.experiment,
+        preset=args.preset, workload=args.workload,
+        backend=args.backend, last=args.last,
+    )
+    if args.json_out:
+        print(json_dumps([record.to_dict() for record in records]))
+        return 0
+    if not records:
+        print(f"ledger: no matching records in {path}")
+        return 0
+    print(f"ledger: {path} ({len(records)} matching records)")
+    header = (f"  {'id':>12}  {'timestamp':>20}  {'verb':<12}  "
+              f"{'experiment':<12}  {'preset':<16}  {'workload':<10}  "
+              f"{'events/s':>12}")
+    print(header)
+    for record in records:
+        events = (f"{record.events_per_second:,.0f}"
+                  if record.events_per_second else "-")
+        print(f"  {record.record_id:>12}  {record.timestamp:>20}  "
+              f"{record.verb:<12}  {record.experiment[:12]:<12}  "
+              f"{record.preset[:16]:<16}  {record.workload:<10}  "
+              f"{events:>12}")
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    from repro.metrics import (
+        DEFAULT_THRESHOLD,
+        diff_records,
+        ledger_path,
+        read_ledger,
+        select_record,
+    )
+
+    from repro.errors import ReproError
+
+    ledger = read_ledger(ledger_path(args.ledger))
+    try:
+        baseline = select_record(ledger, args.baseline)
+        current = select_record(ledger, args.current)
+    except ReproError as exc:
+        print(f"diff: {exc}", file=sys.stderr)
+        return 2
+    threshold = (args.threshold if args.threshold is not None
+                 else DEFAULT_THRESHOLD)
+    report = diff_records(baseline, current, threshold=threshold)
+    if args.json_out:
+        print(json_dumps(report.to_json_dict()))
+    else:
+        print(report.format_text(show_all=args.show_all))
+    return 1 if report.regressions else 0
+
+
+def cmd_regress(args: argparse.Namespace) -> int:
+    from repro.metrics import DEFAULT_THRESHOLD, ledger_path, run_regress
+
+    from repro.errors import ReproError
+
+    threshold = (args.threshold if args.threshold is not None
+                 else DEFAULT_THRESHOLD)
+    try:
+        report = run_regress(
+            args.baseline, current_path=args.current,
+            ledger=ledger_path(args.ledger), threshold=threshold,
+        )
+    except ReproError as exc:
+        print(f"regress: {exc}", file=sys.stderr)
+        return 2
+    print(report.format_text())
+    if args.json_out is not None:
+        with open(args.json_out, "w") as handle:
+            handle.write(json_dumps(report.to_json_dict()) + "\n")
+        print(f"wrote {args.json_out}")
+    return 0 if report.passed else 1
+
+
+def cmd_dashboard(args: argparse.Namespace) -> int:
+    from repro.metrics import render_dashboard
+
+    out = render_dashboard(args.out, ledger=args.ledger,
+                           bench_paths=args.bench)
+    print(f"wrote {out}")
     return 0
 
 
@@ -568,6 +881,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_bench_kernel(args)
     if args.command == "simulate":
         return cmd_simulate(args)
+    if args.command == "history":
+        return cmd_history(args)
+    if args.command == "diff":
+        return cmd_diff(args)
+    if args.command == "regress":
+        return cmd_regress(args)
+    if args.command == "dashboard":
+        return cmd_dashboard(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

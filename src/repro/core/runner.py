@@ -136,6 +136,15 @@ class SimulationResult:
             )
         return "\n".join(lines)
 
+    def metrics(self, backend: str = ""):
+        """This result as a labeled :class:`repro.metrics.MetricSet`
+        (the unified-registry view, DESIGN.md §4i).  Wall-clock fields
+        stay out — they belong on the run-ledger record, so the view
+        is deterministic for identical-seed runs."""
+        from repro.metrics import metrics_from_result  # deferred: cycle
+
+        return metrics_from_result(self, backend=backend)
+
 
 class Runner:
     """Run one (configuration, workload, arrival process) experiment."""

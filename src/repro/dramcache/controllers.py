@@ -240,7 +240,12 @@ class BacksideController:
                 flash_stats.add("bc_uncorrectable_replies")
             else:
                 return  # data arrived
-            request.fault_stall_ns += self.engine.now - attempt_start
+            stall_ns = self.engine.now - attempt_start
+            request.fault_stall_ns += stall_ns
+            # Cumulative fault-stall counter: only the resilient path
+            # (fault plan active) reaches here, so faults-disabled runs
+            # never grow this key and goldens stay bit-identical.
+            flash_stats.add("bc_fault_stall_ns", stall_ns)
             self.msr.note_reissue(request.page)
             if 0 < cfg.plane_failure_threshold <= attempts:
                 # One page failing attempt after attempt is the

@@ -62,6 +62,7 @@ FAULT_COUNTER_KEYS: Tuple[str, ...] = (
     "flash.bc_timeouts",
     "flash.bc_reissues",
     "flash.bc_uncorrectable_replies",
+    "flash.bc_fault_stall_ns",
 )
 
 
@@ -141,6 +142,18 @@ class ChaosBench:
     def write_json(self, path: str) -> None:
         with open(path, "w") as handle:
             handle.write(self.to_json() + "\n")
+
+    def key_metrics(self) -> dict:
+        """Registry-namespace projection for the run ledger."""
+        from repro.metrics import bench_view  # deferred: cycle
+
+        return bench_view(asdict(self)).metrics
+
+    def fingerprint(self) -> str:
+        """Deterministic digest over the cells (ledger identity)."""
+        from repro.metrics import bench_view  # deferred: cycle
+
+        return bench_view(asdict(self)).fingerprint
 
 
 def parse_rber_sweep(text: str) -> Tuple[float, ...]:

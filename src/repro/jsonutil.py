@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Any
+from typing import Any, Optional
 
 
 def json_safe(value: Any) -> Any:
@@ -33,6 +33,18 @@ def json_safe(value: Any) -> Any:
     return value
 
 
-def dumps(value: Any, indent: int = 2) -> str:
-    """Standard-compliant ``json.dumps``: non-finite floats -> null."""
-    return json.dumps(json_safe(value), indent=indent, allow_nan=False)
+def dumps(value: Any, indent: Optional[int] = 2) -> str:
+    """Standard-compliant ``json.dumps``: non-finite floats -> null.
+
+    ``indent=None`` emits the compact single-line form (no spaces
+    after separators) — the run-ledger JSONL line format.
+    """
+    separators = (",", ":") if indent is None else None
+    return json.dumps(json_safe(value), indent=indent,
+                      separators=separators, allow_nan=False)
+
+
+def loads(text: str) -> Any:
+    """Inverse of :func:`dumps` (plain ``json.loads``; here so ledger
+    readers and writers share one serialization module)."""
+    return json.loads(text)

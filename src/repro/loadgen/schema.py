@@ -173,3 +173,15 @@ class LoadgenBench:
     def write_json(self, path: str) -> None:
         with open(path, "w") as handle:
             handle.write(self.to_json() + "\n")
+
+    def key_metrics(self) -> dict:
+        """Registry-namespace projection for the run ledger."""
+        from repro.metrics import bench_view  # deferred: cycle
+
+        return bench_view(asdict(self)).metrics
+
+    def fingerprint(self) -> str:
+        """Deterministic digest over the cells (ledger identity)."""
+        from repro.metrics import bench_view  # deferred: cycle
+
+        return bench_view(asdict(self)).fingerprint

@@ -1,0 +1,98 @@
+"""Unified metrics registry, run ledger, and cross-run tooling.
+
+DESIGN.md §4i.  Three layers:
+
+* :mod:`repro.metrics.registry` — the ``subsystem/name{labels}``
+  namespace, adapters from simulation results / machines / bench
+  payloads onto it;
+* :mod:`repro.metrics.ledger` — schema-stamped :class:`RunRecord`
+  lines in ``.repro_runs/ledger.jsonl`` (``REPRO_RUNS_DIR`` /
+  ``REPRO_LEDGER`` environment knobs);
+* :mod:`repro.metrics.diff` + :mod:`repro.metrics.dashboard` — the
+  comparison engine behind ``repro diff``/``repro regress`` and the
+  static-HTML observatory behind ``repro dashboard``.
+"""
+
+from repro.metrics.dashboard import (
+    build_dashboard,
+    discover_bench_files,
+    load_bench_payloads,
+    render_dashboard,
+)
+from repro.metrics.diff import (
+    DEFAULT_THRESHOLD,
+    DiffReport,
+    MetricDelta,
+    RegressReport,
+    classify_delta,
+    diff_metric_dicts,
+    diff_records,
+    metric_direction,
+    run_regress,
+)
+from repro.metrics.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    WALL_FIELDS,
+    RunRecord,
+    append_record,
+    default_runs_dir,
+    filter_records,
+    ledger_enabled,
+    ledger_path,
+    make_record,
+    read_ledger,
+    record_from_file,
+    select_record,
+)
+from repro.metrics.registry import (
+    METRIC_LABELS,
+    BenchView,
+    Metric,
+    MetricSet,
+    bench_view,
+    format_key,
+    machine_metrics,
+    metrics_from_experiments,
+    metrics_from_result,
+    parse_key,
+    vector_metrics,
+)
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "LEDGER_SCHEMA_VERSION",
+    "METRIC_LABELS",
+    "WALL_FIELDS",
+    "BenchView",
+    "DiffReport",
+    "Metric",
+    "MetricDelta",
+    "MetricSet",
+    "RegressReport",
+    "RunRecord",
+    "append_record",
+    "bench_view",
+    "build_dashboard",
+    "classify_delta",
+    "default_runs_dir",
+    "diff_metric_dicts",
+    "diff_records",
+    "discover_bench_files",
+    "filter_records",
+    "format_key",
+    "ledger_enabled",
+    "ledger_path",
+    "load_bench_payloads",
+    "machine_metrics",
+    "make_record",
+    "metric_direction",
+    "metrics_from_experiments",
+    "metrics_from_result",
+    "parse_key",
+    "read_ledger",
+    "record_from_file",
+    "render_dashboard",
+    "run_regress",
+    "select_record",
+    "vector_metrics",
+]

@@ -1,0 +1,259 @@
+"""The run ledger: one JSONL line per CLI invocation.
+
+Every measuring verb (``report``, ``profile``, ``bench-kernel``,
+``bench-sweep``, ``chaos``, ``loadgen``, ``simulate``) appends a
+schema-stamped :class:`RunRecord` to ``.repro_runs/ledger.jsonl`` —
+the persistent perf trajectory that ``repro history``/``diff``/
+``regress``/``dashboard`` read.  The ledger is observability, not a
+result store: appends are best-effort (IO failures warn, never fail
+the verb) and can be disabled wholesale with ``REPRO_LEDGER=0``.
+
+Determinism contract: a record's identity (``record_id``) is the
+digest of its *normalized* payload — every field except the
+wall-clock ones (:data:`WALL_FIELDS`) and the host-dependent artifact
+paths.  Two identical-seed runs of the same source tree therefore
+produce identical normalized records and identical ids, which is what
+lets ``repro diff`` certify "nothing moved" and the tests pin
+round-trip determinism.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import asdict, dataclass, field
+from datetime import datetime, timezone
+from hashlib import sha256
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.jsonutil import dumps as json_dumps, loads as json_loads
+
+#: Bump when the JSONL layout of :class:`RunRecord` changes so ledger
+#: consumers can detect incompatible lines.
+LEDGER_SCHEMA_VERSION = 1
+
+#: Wall-clock / host-dependent record fields, excluded from the
+#: normalized payload (and so from ``record_id`` and ``repro diff``'s
+#: determinism check).
+WALL_FIELDS = ("wall_seconds", "events_per_second", "timestamp")
+
+#: Environment switches: directory override and global disable.
+DIR_ENV_VAR = "REPRO_RUNS_DIR"
+ENABLE_ENV_VAR = "REPRO_LEDGER"
+
+LEDGER_FILENAME = "ledger.jsonl"
+
+
+def ledger_enabled() -> bool:
+    """False when ``REPRO_LEDGER`` is set to an off value."""
+    return os.environ.get(ENABLE_ENV_VAR, "1").strip().lower() \
+        not in ("0", "false", "no", "off")
+
+
+def default_runs_dir() -> Path:
+    """``$REPRO_RUNS_DIR`` or ``.repro_runs`` in the working directory
+    (mirrors the ``.repro_cache`` convention in the parallel harness)."""
+    return Path(os.environ.get(DIR_ENV_VAR, ".repro_runs"))
+
+
+def ledger_path(path: Optional[os.PathLike] = None) -> Path:
+    if path is not None:
+        return Path(path)
+    return default_runs_dir() / LEDGER_FILENAME
+
+
+@dataclass
+class RunRecord:
+    """One ledger line: what ran, on what source, and what it measured."""
+
+    verb: str
+    experiment: str = ""
+    preset: str = ""
+    workload: str = ""
+    backend: str = ""
+    scale: str = ""
+    seed: int = 0
+    source_digest: str = ""
+    fingerprint: str = ""
+    #: Rendered registry keys (see repro.metrics.registry) -> values;
+    #: deterministic by construction — wall figures live below instead.
+    metrics: Dict[str, float] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    events_per_second: float = 0.0
+    timestamp: str = ""
+    artifacts: List[str] = field(default_factory=list)
+    schema_version: int = LEDGER_SCHEMA_VERSION
+    record_id: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RunRecord":
+        known = {name for name in cls.__dataclass_fields__}
+        kwargs = {key: value for key, value in payload.items()
+                  if key in known}
+        kwargs.setdefault("verb", "")
+        return cls(**kwargs)
+
+    def normalized(self) -> Dict[str, object]:
+        """The record minus wall fields, artifact paths and the id —
+        the comparison (and ``record_id``) surface."""
+        payload = self.to_dict()
+        for name in WALL_FIELDS + ("artifacts", "record_id"):
+            payload.pop(name, None)
+        return payload
+
+    def compute_id(self) -> str:
+        canonical = json_dumps(self.normalized(), indent=None)
+        return sha256(canonical.encode()).hexdigest()[:12]
+
+    def label(self) -> str:
+        """Compact human identity for diff/history output."""
+        parts = [self.record_id or "-", self.verb]
+        if self.experiment:
+            parts.append(self.experiment)
+        if self.preset or self.workload:
+            parts.append(f"{self.preset or '*'}/{self.workload or '*'}")
+        return " ".join(parts)
+
+
+def make_record(verb: str, *, experiment: str = "", preset: str = "",
+                workload: str = "", backend: str = "", scale: str = "",
+                seed: int = 0, metrics: Optional[Dict[str, float]] = None,
+                fingerprint: str = "", wall_seconds: float = 0.0,
+                events_per_second: float = 0.0,
+                artifacts: Sequence[str] = ()) -> RunRecord:
+    """Build a fully-stamped record (source digest, timestamp, id)."""
+    from repro.snapshot import source_digest  # deferred: walks the tree once
+
+    record = RunRecord(
+        verb=verb,
+        experiment=experiment,
+        preset=preset,
+        workload=workload,
+        backend=backend,
+        scale=scale,
+        seed=int(seed),
+        source_digest=source_digest(),
+        fingerprint=fingerprint,
+        metrics=dict(metrics or {}),
+        wall_seconds=float(wall_seconds),
+        events_per_second=float(events_per_second),
+        timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        artifacts=[str(item) for item in artifacts],
+    )
+    record.record_id = record.compute_id()
+    return record
+
+
+def append_record(record: RunRecord,
+                  path: Optional[os.PathLike] = None) -> Optional[Path]:
+    """Append one JSONL line; returns the path, or None when disabled."""
+    if not ledger_enabled():
+        return None
+    target = ledger_path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "a", encoding="utf-8") as handle:
+        handle.write(json_dumps(record.to_dict(), indent=None) + "\n")
+    return target
+
+
+def read_ledger(path: Optional[os.PathLike] = None) -> List[RunRecord]:
+    """Every parseable record, oldest first; a missing ledger is empty.
+
+    Malformed lines (a crashed append, hand edits) are skipped rather
+    than poisoning every history/diff invocation after them.
+    """
+    target = ledger_path(path)
+    if not target.is_file():
+        return []
+    records: List[RunRecord] = []
+    with open(target, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json_loads(line)
+            except ValueError:
+                continue
+            if isinstance(payload, dict) and payload.get("verb"):
+                records.append(RunRecord.from_dict(payload))
+    return records
+
+
+def filter_records(records: Sequence[RunRecord], verb: str = "",
+                   experiment: str = "", preset: str = "",
+                   workload: str = "", backend: str = "",
+                   last: Optional[int] = None) -> List[RunRecord]:
+    """Ledger query: equality filters, then keep the newest ``last``."""
+    selected = [
+        record for record in records
+        if (not verb or record.verb == verb)
+        and (not experiment or record.experiment == experiment)
+        and (not preset or record.preset == preset)
+        and (not workload or record.workload == workload)
+        and (not backend or record.backend == backend)
+    ]
+    if last is not None and last >= 0:
+        selected = selected[-last:] if last else []
+    return selected
+
+
+def select_record(records: Sequence[RunRecord], selector: str) -> RunRecord:
+    """Resolve a ``repro diff`` selector against the ledger.
+
+    Accepts a ledger index (``0`` oldest, ``-1`` newest), a
+    ``record_id`` prefix, or a path to a JSON file holding either a
+    :class:`RunRecord` dump or any recognized bench payload (which is
+    projected through :func:`repro.metrics.registry.bench_view`).
+    """
+    try:
+        index = int(selector)
+    except ValueError:
+        pass
+    else:
+        try:
+            return records[index]
+        except IndexError:
+            raise ReproError(
+                f"ledger index {index} out of range "
+                f"({len(records)} records)"
+            ) from None
+    matches = [record for record in records
+               if record.record_id.startswith(selector)]
+    if len(matches) == 1:
+        return matches[0]
+    if len(matches) > 1:
+        raise ReproError(
+            f"record id prefix {selector!r} is ambiguous "
+            f"({len(matches)} matches)"
+        )
+    if os.path.isfile(selector):
+        return record_from_file(selector)
+    raise ReproError(
+        f"no ledger record matches {selector!r} (not an index, id "
+        "prefix, or readable JSON file)"
+    )
+
+
+def record_from_file(path: os.PathLike) -> RunRecord:
+    """A RunRecord from a JSON file: either a ledger-record dump or a
+    bench payload adapted through the registry."""
+    from repro.metrics.registry import bench_view
+
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json_loads(handle.read())
+    if not isinstance(payload, dict):
+        raise ReproError(f"{path}: expected a JSON object")
+    if "verb" in payload and "metrics" in payload:
+        return RunRecord.from_dict(payload)
+    view = bench_view(payload)
+    record = RunRecord(verb=view.verb, metrics=view.metrics,
+                       fingerprint=view.fingerprint,
+                       scale=str(payload.get("scale", "")),
+                       experiment=str(payload.get("experiment", "")))
+    record.record_id = record.compute_id()
+    return record

@@ -34,6 +34,14 @@ TELEMETRY_FIELDS = (
     "flash_inflight",
     "bc_queue_depth",
     "core_busy",
+    # Flash/GC health columns (chaos runs in time series).  Appended
+    # at the end: telemetry_fieldnames() ordering promises aggregates
+    # in TELEMETRY_FIELDS order, and downstream CSV consumers index
+    # the earlier columns by position.
+    "gc_blocked_fraction",
+    "erase_count_max",
+    "erase_count_mean",
+    "fault_stall_ns",
 )
 
 #: Aggregate fields also emitted as Chrome counter tracks.
@@ -83,8 +91,25 @@ class TelemetrySampler:
             row["flash_inflight"] = float(sum(
                 plane.busy + plane.queue_length for plane in flash.planes
             ))
+            # Flash/GC health: GC contention, wear profile, cumulative
+            # fault-induced BC stall time.  All read-only probes — the
+            # sampler's determinism contract holds.
+            row["gc_blocked_fraction"] = flash.gc.blocked_fraction()
+            erase_counts = flash.ftl.erase_counts()
+            if erase_counts:
+                row["erase_count_max"] = float(max(erase_counts))
+                row["erase_count_mean"] = (sum(erase_counts)
+                                           / len(erase_counts))
+            else:
+                row["erase_count_max"] = 0.0
+                row["erase_count_mean"] = 0.0
+            row["fault_stall_ns"] = flash.stats.get("bc_fault_stall_ns")
         else:
             row["flash_inflight"] = 0.0
+            row["gc_blocked_fraction"] = 0.0
+            row["erase_count_max"] = 0.0
+            row["erase_count_mean"] = 0.0
+            row["fault_stall_ns"] = 0.0
 
         row["runq_jobs"] = float(sum(
             len(queue) for queue in runner._queues.values()

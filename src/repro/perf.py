@@ -49,7 +49,9 @@ class Hotspot:
 #: consumers of the profile JSON can detect incompatible files.
 #: v2: events/sec excludes warm-phase wall time (``warm_wall_seconds``
 #: is reported separately) and the executing ``backend`` is recorded.
-PROFILE_SCHEMA_VERSION = 2
+#: v3: vector-backend fallbacks are surfaced (``scalar_fallbacks``
+#: count and per-reason ``fallback_reasons``).
+PROFILE_SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -67,6 +69,10 @@ class ProfileReport:
     config_preset: str = ""  # HarnessScale.name the run resolved to
     warm_wall_seconds: float = 0.0  # cache-warm time excluded from events/s
     backend: str = "scalar"  # repro.sim.vector.BACKENDS member
+    #: Vector->scalar fallbacks during the profiled runs, with the
+    #: per-reason breakdown from repro.sim.vector.fallback_reasons().
+    scalar_fallbacks: int = 0
+    fallback_reasons: Dict[str, int] = field(default_factory=dict)
 
     def format_text(self) -> str:
         lines = [
@@ -77,9 +83,16 @@ class ProfileReport:
             f"  kernel events   {self.events_executed:,} "
             f"({self.events_per_second:,.0f} events/s)",
             f"  function calls  {self.total_calls:,}",
+        ]
+        if self.scalar_fallbacks:
+            reasons = "; ".join(f"{reason} x{count}" for reason, count
+                                in sorted(self.fallback_reasons.items()))
+            lines.append(f"  scalar fallbacks {self.scalar_fallbacks} "
+                         f"({reasons})")
+        lines.extend([
             "",
             f"  {'calls':>10}  {'tottime':>8}  {'cumtime':>8}  function",
-        ]
+        ])
         for spot in self.hotspots:
             lines.append(
                 f"  {spot.calls:>10,}  {spot.total_s:>8.3f}  "
@@ -95,6 +108,12 @@ class ProfileReport:
     def write_json(self, path: str) -> None:
         with open(path, "w") as handle:
             handle.write(self.to_json() + "\n")
+
+    def key_metrics(self) -> Dict[str, float]:
+        """Registry-namespace projection for the run ledger."""
+        from repro.metrics import bench_view  # deferred: cycle
+
+        return bench_view(asdict(self)).metrics
 
 
 def _function_label(func_key) -> str:
@@ -149,6 +168,7 @@ def profile_experiment(experiment: str, scale: str = "quick",
         raise ReproError("profile needs at least one hotspot row")
     from repro.core.runner import wall_split_totals  # deferred: heavy
     from repro.harness import EXPERIMENTS, resolve_scale  # deferred: heavy
+    from repro.sim import vector
     from repro.sim.vector import ENV_VAR, resolve_backend
 
     try:
@@ -171,6 +191,8 @@ def profile_experiment(experiment: str, scale: str = "quick",
     os.environ[ENV_VAR] = backend
     events_before = total_events_executed()
     warm_before = wall_split_totals()["warm_seconds"]
+    fallbacks_before = vector.stats()["scalar_fallbacks"]
+    reasons_before = vector.fallback_reasons()
     wall_start = time.perf_counter()
     try:
         profiler.enable()
@@ -188,6 +210,12 @@ def profile_experiment(experiment: str, scale: str = "quick",
     events = total_events_executed() - events_before
     warm_wall = wall_split_totals()["warm_seconds"] - warm_before
     kernel_wall = max(wall_seconds - warm_wall, 0.0)
+    fallbacks = vector.stats()["scalar_fallbacks"] - fallbacks_before
+    fallback_reasons = {
+        reason: count - reasons_before.get(reason, 0)
+        for reason, count in vector.fallback_reasons().items()
+        if count - reasons_before.get(reason, 0) > 0
+    }
 
     stats = pstats.Stats(profiler)
     return ProfileReport(
@@ -202,6 +230,8 @@ def profile_experiment(experiment: str, scale: str = "quick",
         config_preset=resolve_scale(scale).name,
         warm_wall_seconds=warm_wall,
         backend=backend,
+        scalar_fallbacks=fallbacks,
+        fallback_reasons=fallback_reasons,
     )
 
 
@@ -232,6 +262,12 @@ class SweepBench:
     speedup: float
     schema_version: int = SWEEP_SCHEMA_VERSION
     config_preset: str = ""
+
+    def key_metrics(self) -> Dict[str, float]:
+        """Registry-namespace projection for the run ledger."""
+        from repro.metrics import bench_view  # deferred: cycle
+
+        return bench_view(asdict(self)).metrics
 
     def format_text(self) -> str:
         return "\n".join([
@@ -324,7 +360,9 @@ def bench_sweep(experiment: str = "fig1", scale: str = "quick",
 
 #: Bump when the JSON layout of :class:`KernelBench` changes so CI
 #: consumers of ``BENCH_kernel.json`` can detect incompatible files.
-KERNEL_BENCH_SCHEMA_VERSION = 1
+#: v2: per-entry ``fallback_reasons`` (vector->scalar fallback counts
+#: by reason) ride along with ``vector_stats``.
+KERNEL_BENCH_SCHEMA_VERSION = 2
 
 #: Kernel-bench request length (arrayswap ``ops_per_job``).  Long
 #: requests keep the bench inside the batch-execution kernel rather
@@ -347,6 +385,9 @@ class KernelBackendEntry:
     events_per_second: float
     state_fingerprint: str
     vector_stats: Dict[str, int] = field(default_factory=dict)
+    #: Vector->scalar fallbacks this entry's runs recorded, by reason
+    #: (empty for the scalar backend and for clean vector runs).
+    fallback_reasons: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -390,6 +431,11 @@ class KernelBench:
                 f"{item.events_executed:>10,} events   "
                 f"{item.events_per_second:>12,.0f} events/s"
             )
+            if item.fallback_reasons:
+                reasons = "; ".join(
+                    f"{reason} x{count}" for reason, count
+                    in sorted(item.fallback_reasons.items()))
+                lines.append(f"          scalar fallbacks: {reasons}")
         if self.bit_identical is not None:
             lines.append(f"  bit-identical   {self.bit_identical}")
         if self.speedup is not None:
@@ -405,6 +451,12 @@ class KernelBench:
     def write_json(self, path: str) -> None:
         with open(path, "w") as handle:
             handle.write(self.to_json() + "\n")
+
+    def key_metrics(self) -> Dict[str, float]:
+        """Registry-namespace projection for the run ledger."""
+        from repro.metrics import bench_view  # deferred: cycle
+
+        return bench_view(asdict(self)).metrics
 
 
 #: SimulationResult fields that depend on wall clock or warm-state
@@ -481,6 +533,7 @@ def bench_kernel(scale: str = "quick",
         events = 0
         fingerprint = ""
         stats_before = vector.stats()
+        reasons_before = vector.fallback_reasons()
         for _ in range(repeat):
             result, events, fingerprint = one_run(backend)
             wall = result.wall_seconds
@@ -491,6 +544,7 @@ def bench_kernel(scale: str = "quick",
             elif (fingerprint, canonical) != baseline:
                 identical = False
         stats_after = vector.stats()
+        reasons_after = vector.fallback_reasons()
         bench.entries.append(KernelBackendEntry(
             backend=backend,
             wall_seconds=best_wall,
@@ -500,6 +554,11 @@ def bench_kernel(scale: str = "quick",
             vector_stats={key: stats_after[key] - stats_before.get(key, 0)
                           for key in stats_after} if backend == "vector"
             else {},
+            fallback_reasons={
+                reason: count - reasons_before.get(reason, 0)
+                for reason, count in reasons_after.items()
+                if count - reasons_before.get(reason, 0) > 0
+            } if backend == "vector" else {},
         ))
     if len(bench.entries) >= 2:
         bench.bit_identical = identical

@@ -80,6 +80,12 @@ def _reset_stats() -> None:
     })
 
 
+#: Per-reason fallback counts (reason string -> occurrences since the
+#: last reset) — the surfaced form of scalar_fallbacks: ``repro
+#: profile``/``bench-kernel`` JSON embed it and the CLI warns on
+#: stderr when a requested vector run silently fell back.
+_FALLBACK_REASONS: Dict[str, int] = {}
+
 _reset_stats()
 _LAST_FALLBACK_REASON = ""
 
@@ -92,6 +98,7 @@ def stats() -> Dict[str, int]:
 def reset_stats() -> None:
     """Zero the telemetry (test isolation)."""
     _reset_stats()
+    _FALLBACK_REASONS.clear()
 
 
 def run_stats() -> Dict[str, int]:
@@ -101,6 +108,11 @@ def run_stats() -> Dict[str, int]:
 
 def last_fallback_reason() -> str:
     return _LAST_FALLBACK_REASON
+
+
+def fallback_reasons() -> Dict[str, int]:
+    """Snapshot of per-reason scalar-fallback counts since reset."""
+    return dict(_FALLBACK_REASONS)
 
 
 # --------------------------------------------------------------- RNG bridge --
@@ -340,6 +352,7 @@ def classify(runner) -> Tuple[Optional[str], str]:
 def record_fallback(reason: str) -> None:
     global _LAST_FALLBACK_REASON
     _STATS["scalar_fallbacks"] += 1
+    _FALLBACK_REASONS[reason] = _FALLBACK_REASONS.get(reason, 0) + 1
     _LAST_FALLBACK_REASON = reason
 
 

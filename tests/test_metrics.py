@@ -1,0 +1,636 @@
+"""Tests for the metrics registry, run ledger, diff/regress tooling
+and the static dashboard (repro.metrics)."""
+
+import json
+import math
+from html.parser import HTMLParser
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ReproError
+from repro.metrics import (
+    DEFAULT_THRESHOLD,
+    MetricSet,
+    RunRecord,
+    append_record,
+    bench_view,
+    classify_delta,
+    diff_records,
+    filter_records,
+    format_key,
+    make_record,
+    metric_direction,
+    parse_key,
+    read_ledger,
+    render_dashboard,
+    run_regress,
+    select_record,
+)
+
+
+# ------------------------------------------------------------- registry --
+
+
+class TestRegistry:
+    def test_format_and_parse_round_trip(self):
+        key = format_key("flash/reads", {"preset": "astriflash",
+                                         "workload": "tatp"})
+        assert key == "flash/reads{preset=astriflash,workload=tatp}"
+        name, labels = parse_key(key)
+        assert name == "flash/reads"
+        assert labels == {"preset": "astriflash", "workload": "tatp"}
+
+    def test_format_key_sorts_labels(self):
+        a = format_key("x/y", {"b": "2", "a": "1"})
+        b = format_key("x/y", {"a": "1", "b": "2"})
+        assert a == b == "x/y{a=1,b=2}"
+
+    def test_metric_set_skips_none_and_nonfinite(self):
+        metrics = MetricSet()
+        metrics.add("a/b", None)
+        metrics.add("a/c", float("nan"))
+        metrics.add("a/d", float("inf"))
+        metrics.add("a/e", 1.0)
+        assert list(metrics.as_dict()) == ["a/e"]
+
+    def test_metric_set_merge_and_filter(self):
+        left = MetricSet()
+        left.add("flash/reads", 5.0, preset="p")
+        right = MetricSet()
+        right.add("gc/moves", 2.0)
+        left.merge(right)
+        assert len(left) == 2
+        assert list(left.filter("gc/").as_dict()) == ["gc/moves"]
+
+    def test_result_metrics_exclude_wall_fields(self):
+        from repro.config import make_config
+        from repro.core import Runner
+        from repro.units import US
+        from repro.workloads import make_workload
+
+        config = make_config("dram-only")
+        config.num_cores = 1
+        config.scale.dataset_pages = 2048
+        config.scale.measurement_ns = 200 * US
+        workload = make_workload("arrayswap", 2048, seed=3)
+        result = Runner(config, workload).run()
+        metrics = result.metrics(backend="scalar")
+        keys = metrics.as_dict()
+        assert any(key.startswith("runner/throughput_jobs_per_s")
+                   for key in keys)
+        assert any(key.startswith("engine/events_executed")
+                   for key in keys)
+        assert not any("wall_seconds" in key for key in keys)
+        # Labels ride on every key.
+        sample = next(iter(metrics))
+        assert sample.label("preset") == "dram-only"
+        assert sample.label("backend") == "scalar"
+
+
+class TestBenchView:
+    def test_rejects_foreign_payload(self):
+        with pytest.raises(ReproError):
+            bench_view({"hello": "world"})
+
+    def test_kernel_view_policies(self):
+        payload = {
+            "ops_per_job": 48, "entries": [
+                {"backend": "scalar", "events_executed": 100,
+                 "events_per_second": 1e6, "wall_seconds": 0.1,
+                 "state_fingerprint": "abc"},
+            ],
+            "bit_identical": True, "speedup": 4.0,
+        }
+        view = bench_view(payload)
+        assert view.verb == "bench-kernel"
+        assert view.metrics["kernel/bit_identical"] == 1.0
+        assert view.policies["kernel/bit_identical"]["mode"] == "exact"
+        assert view.policies["kernel/speedup"]["mode"] == "floor"
+        assert view.policies[
+            "kernel/events_executed{backend=scalar}"]["mode"] == "exact"
+        assert view.policies[
+            "kernel/wall_seconds{backend=scalar}"]["mode"] == "info"
+        assert view.fingerprint == "abc"
+
+
+# --------------------------------------------------------------- ledger --
+
+
+class TestLedger:
+    def test_append_and_read_round_trip(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        record = make_record("simulate", preset="astriflash",
+                             workload="tatp", seed=7,
+                             metrics={"flash/reads": 5.0},
+                             fingerprint="f00",
+                             wall_seconds=1.5, events_per_second=2e5)
+        append_record(record, path)
+        loaded = read_ledger(path)
+        assert len(loaded) == 1
+        assert loaded[0].to_dict() == record.to_dict()
+
+    def test_record_id_ignores_wall_fields(self):
+        a = make_record("simulate", preset="p", metrics={"m": 1.0},
+                        wall_seconds=1.0, events_per_second=100.0,
+                        artifacts=["/tmp/a.json"])
+        b = make_record("simulate", preset="p", metrics={"m": 1.0},
+                        wall_seconds=9.0, events_per_second=999.0,
+                        artifacts=["/other/b.json"])
+        assert a.record_id == b.record_id
+        c = make_record("simulate", preset="p", metrics={"m": 2.0})
+        assert c.record_id != a.record_id
+
+    def test_read_ledger_skips_malformed_lines(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        record = make_record("profile", metrics={"m": 1.0})
+        append_record(record, path)
+        with open(path, "a") as handle:
+            handle.write("not json\n\n{\"no_verb\": 1}\n")
+        append_record(record, path)
+        assert len(read_ledger(path)) == 2
+
+    def test_missing_ledger_is_empty(self, tmp_path):
+        assert read_ledger(tmp_path / "absent.jsonl") == []
+
+    def test_disable_via_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER", "0")
+        path = tmp_path / "ledger.jsonl"
+        assert append_record(make_record("simulate"), path) is None
+        assert not path.exists()
+
+    def test_filter_records(self):
+        records = [
+            RunRecord(verb="simulate", preset="a"),
+            RunRecord(verb="profile", preset="a"),
+            RunRecord(verb="simulate", preset="b"),
+        ]
+        assert len(filter_records(records, verb="simulate")) == 2
+        assert len(filter_records(records, preset="a")) == 2
+        assert len(filter_records(records, verb="simulate", last=1)) == 1
+        assert filter_records(records, verb="simulate",
+                              last=1)[0].preset == "b"
+
+    def test_select_record_forms(self, tmp_path):
+        records = [RunRecord(verb="simulate", record_id="aaa111"),
+                   RunRecord(verb="profile", record_id="bbb222")]
+        assert select_record(records, "-1").verb == "profile"
+        assert select_record(records, "aaa").verb == "simulate"
+        with pytest.raises(ReproError):
+            select_record(records, "5")
+        with pytest.raises(ReproError):
+            select_record(records, "zzz")
+
+    def test_identical_seed_runs_identical_records(self, tmp_path,
+                                                   monkeypatch, capsys):
+        """Two identical-seed simulate runs append records whose
+        normalized payloads (and so record_ids) are identical."""
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path))
+        argv = ["simulate", "--config", "dram-only", "--workload",
+                "arrayswap", "--dataset-pages", "2048",
+                "--measurement-us", "200", "--seed", "11"]
+        assert main(list(argv)) == 0
+        assert main(list(argv)) == 0
+        capsys.readouterr()
+        first, second = read_ledger(tmp_path / "ledger.jsonl")
+        assert first.record_id == second.record_id
+        assert first.normalized() == second.normalized()
+        assert first.metrics == second.metrics
+        assert first.fingerprint == second.fingerprint
+
+
+# ----------------------------------------------------------------- diff --
+
+
+class TestDiff:
+    def test_direction_heuristics(self):
+        assert metric_direction("runner/service_p99_ns") == "lower"
+        assert metric_direction("runner/throughput_jobs_per_s") == "higher"
+        assert metric_direction("flash/erase_count_mean") == "neutral"
+        # Label block does not confuse the parser.
+        assert metric_direction(
+            "loadgen/p99_us{preset=astriflash}") == "lower"
+
+    def test_relative_within_noise(self):
+        delta = classify_delta("runner/service_p99_ns", 100.0, 104.0,
+                               DEFAULT_THRESHOLD)
+        assert delta.verdict == "within-noise"
+
+    def test_relative_regression_lower_better(self):
+        delta = classify_delta("runner/service_p99_ns", 100.0, 120.0,
+                               DEFAULT_THRESHOLD)
+        assert delta.verdict == "regression"
+
+    def test_relative_improvement_lower_better(self):
+        delta = classify_delta("runner/service_p99_ns", 100.0, 80.0,
+                               DEFAULT_THRESHOLD)
+        assert delta.verdict == "improvement"
+
+    def test_relative_regression_higher_better(self):
+        delta = classify_delta("kernel/events_per_second", 100.0, 80.0,
+                               DEFAULT_THRESHOLD)
+        assert delta.verdict == "regression"
+
+    def test_neutral_direction_reports_changed(self):
+        delta = classify_delta("flash/erase_count_mean", 100.0, 200.0,
+                               DEFAULT_THRESHOLD)
+        assert delta.verdict == "changed"
+
+    def test_exact_policy(self):
+        delta = classify_delta("kernel/bit_identical", 1.0, 0.0,
+                               DEFAULT_THRESHOLD, {"mode": "exact"})
+        assert delta.verdict == "regression"
+        same = classify_delta("kernel/bit_identical", 1.0, 1.0,
+                              DEFAULT_THRESHOLD, {"mode": "exact"})
+        assert same.verdict == "within-noise"
+
+    def test_floor_policy(self):
+        worse = classify_delta("kernel/speedup", 3.0, 2.5,
+                               DEFAULT_THRESHOLD, {"mode": "floor"})
+        assert worse.verdict == "regression"
+        better = classify_delta("kernel/speedup", 3.0, 6.0,
+                                DEFAULT_THRESHOLD, {"mode": "floor"})
+        assert better.verdict == "improvement"
+
+    def test_info_policy_never_gates(self):
+        delta = classify_delta("kernel/wall_seconds", 1.0, 99.0,
+                               DEFAULT_THRESHOLD, {"mode": "info"})
+        assert delta.verdict == "within-noise"
+
+    def test_added_and_removed(self):
+        added = classify_delta("a/b", None, 1.0, DEFAULT_THRESHOLD)
+        removed = classify_delta("a/b", 1.0, None, DEFAULT_THRESHOLD)
+        assert added.verdict == "added"
+        assert removed.verdict == "removed"
+
+    def test_diff_records_fingerprints(self):
+        base = RunRecord(verb="simulate", fingerprint="aaa",
+                         metrics={"m/x": 1.0})
+        same = RunRecord(verb="simulate", fingerprint="aaa",
+                         metrics={"m/x": 1.0})
+        other = RunRecord(verb="simulate", fingerprint="bbb",
+                          metrics={"m/x": 1.0})
+        assert diff_records(base, same).fingerprint_match is True
+        assert diff_records(base, other).fingerprint_match is False
+        blank = RunRecord(verb="simulate", metrics={"m/x": 1.0})
+        assert diff_records(base, blank).fingerprint_match is None
+
+
+# -------------------------------------------------------------- regress --
+
+
+KERNEL_PAYLOAD = {
+    "workload": "arrayswap", "scale": "quick", "config_preset": "dram-only",
+    "ops_per_job": 48, "repeat": 3, "bit_identical": True, "speedup": 3.0,
+    "schema_version": 2,
+    "entries": [
+        {"backend": "scalar", "wall_seconds": None, "events_executed": 7636,
+         "events_per_second": None, "state_fingerprint": "abc",
+         "vector_stats": {}, "fallback_reasons": {}},
+        {"backend": "vector", "wall_seconds": None, "events_executed": 7636,
+         "events_per_second": None, "state_fingerprint": "abc",
+         "vector_stats": {"batches": 10, "scalar_fallbacks": 0},
+         "fallback_reasons": {}},
+    ],
+}
+
+
+class TestRegress:
+    def _write(self, path, payload):
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        return str(path)
+
+    def test_regress_pass(self, tmp_path):
+        baseline = self._write(tmp_path / "base.json", KERNEL_PAYLOAD)
+        current = self._write(tmp_path / "cur.json", KERNEL_PAYLOAD)
+        report = run_regress(baseline, current_path=current)
+        assert report.passed
+        assert not report.diff.regressions
+
+    def test_regress_speedup_floor(self, tmp_path):
+        baseline = self._write(tmp_path / "base.json", KERNEL_PAYLOAD)
+        worse = json.loads(json.dumps(KERNEL_PAYLOAD))
+        worse["speedup"] = 2.0
+        current = self._write(tmp_path / "cur.json", worse)
+        report = run_regress(baseline, current_path=current)
+        assert not report.passed
+        keys = [d.key for d in report.diff.regressions]
+        assert keys == ["kernel/speedup"]
+        # Above the floor is an improvement, not a failure.
+        better = json.loads(json.dumps(KERNEL_PAYLOAD))
+        better["speedup"] = 9.0
+        current = self._write(tmp_path / "cur2.json", better)
+        assert run_regress(baseline, current_path=current).passed
+
+    def test_regress_fingerprint_divergence(self, tmp_path):
+        baseline = self._write(tmp_path / "base.json", KERNEL_PAYLOAD)
+        diverged = json.loads(json.dumps(KERNEL_PAYLOAD))
+        for entry in diverged["entries"]:
+            entry["state_fingerprint"] = "zzz"
+        current = self._write(tmp_path / "cur.json", diverged)
+        report = run_regress(baseline, current_path=current)
+        assert not report.passed
+        assert "fingerprint" in report.reason
+
+    def test_regress_missing_baseline_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            run_regress(tmp_path / "absent.json")
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        baseline = self._write(tmp_path / "base.json", KERNEL_PAYLOAD)
+        current = self._write(tmp_path / "cur.json", KERNEL_PAYLOAD)
+        assert main(["regress", "--baseline", baseline,
+                     "--current", current]) == 0
+        perturbed = json.loads(json.dumps(KERNEL_PAYLOAD))
+        perturbed["entries"][0]["events_executed"] += 1
+        bad = self._write(tmp_path / "bad.json", perturbed)
+        assert main(["regress", "--baseline", bad,
+                     "--current", current]) == 1
+        assert main(["regress", "--baseline", str(tmp_path / "no.json"),
+                     "--current", current]) == 2
+        out = capsys.readouterr().out
+        assert "REGRESS PASS" in out and "REGRESS FAIL" in out
+
+    def test_cli_regress_json_verdict(self, tmp_path, capsys):
+        baseline = self._write(tmp_path / "base.json", KERNEL_PAYLOAD)
+        current = self._write(tmp_path / "cur.json", KERNEL_PAYLOAD)
+        verdict = tmp_path / "verdict.json"
+        assert main(["regress", "--baseline", baseline, "--current",
+                     current, "--json", str(verdict)]) == 0
+        capsys.readouterr()
+        payload = json.loads(verdict.read_text())
+        assert payload["passed"] is True
+        assert payload["counts"]
+
+
+# ------------------------------------------------------------ CLI verbs --
+
+
+class TestHistoryAndDiffCli:
+    def test_history_empty(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path))
+        assert main(["history"]) == 0
+        assert "no matching records" in capsys.readouterr().out
+
+    def test_history_and_diff_round_trip(self, tmp_path, monkeypatch,
+                                         capsys):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path))
+        argv = ["simulate", "--config", "dram-only", "--workload",
+                "arrayswap", "--dataset-pages", "2048",
+                "--measurement-us", "200", "--seed", "5"]
+        assert main(list(argv)) == 0
+        assert main(list(argv)) == 0
+        capsys.readouterr()
+        assert main(["history", "--verb", "simulate", "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 2
+        assert records[0]["verb"] == "simulate"
+        # Identical-seed runs: zero regressions, fingerprints equal.
+        assert main(["diff", "0", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprints: EQUAL" in out
+        assert "regression" not in out
+
+    def test_diff_detects_regression(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path))
+        path = tmp_path / "ledger.jsonl"
+        append_record(make_record(
+            "simulate", metrics={"runner/service_p99_ns": 100.0}), path)
+        append_record(make_record(
+            "simulate", metrics={"runner/service_p99_ns": 200.0}), path)
+        assert main(["diff", "0", "1"]) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_diff_bad_selector_exits_2(self, tmp_path, monkeypatch,
+                                       capsys):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path))
+        assert main(["diff", "0", "1"]) == 2
+
+
+# ------------------------------------------------------------ dashboard --
+
+
+class _WellFormed(HTMLParser):
+    """Minimal well-formedness check: every tag that opens closes."""
+
+    VOID = {"meta", "br", "hr", "img", "input", "link", "path", "circle",
+            "line", "rect", "polyline", "text", "title", "stop"}
+
+    def __init__(self):
+        super().__init__(convert_charrefs=True)
+        self.stack = []
+
+    def handle_starttag(self, tag, attrs):
+        if tag not in self.VOID:
+            self.stack.append(tag)
+
+    def handle_endtag(self, tag):
+        if tag in self.VOID:
+            return
+        assert self.stack and self.stack[-1] == tag, \
+            f"mismatched </{tag}> (open: {self.stack[-5:]})"
+        self.stack.pop()
+
+
+def _check_html(path):
+    text = path.read_text()
+    parser = _WellFormed()
+    parser.feed(text)
+    assert not parser.stack, f"unclosed tags: {parser.stack}"
+    return text
+
+
+CHAOS_PAYLOAD = {
+    "experiment": "fig9", "scale": "quick", "workload": "tatp",
+    "fault_seed": 1, "rber_points": [0.0, 8e-3],
+    "presets": ["astriflash"], "monotonic_p99": True, "schema_version": 1,
+    "cells": [
+        {"preset": "astriflash", "rber": 0.0, "failed": False,
+         "throughput_jobs_per_s": 1000.0, "service_p99_ns": 50000.0,
+         "service_mean_ns": 9000.0, "fault_counters": {}},
+        {"preset": "astriflash", "rber": 8e-3, "failed": False,
+         "throughput_jobs_per_s": 900.0, "service_p99_ns": 90000.0,
+         "service_mean_ns": 12000.0,
+         "fault_counters": {"flash.read_retries": 14.0}},
+    ],
+}
+
+LOADGEN_PAYLOAD = {
+    "experiment": "fig10", "scale": "quick", "workload": "tatp",
+    "arrival": "poisson", "seed": 42, "slo_us": 500.0,
+    "backlog_threshold": 0.05, "saturation_qps": 2000.0,
+    "qps_points": [500.0, 1000.0], "presets": ["astriflash"],
+    "rber": 0.0, "fault_seed": 1, "monotonic_p99": True,
+    "schema_version": 1,
+    "knees": [{"preset": "astriflash", "sustained_qps": 1000.0,
+               "sustained_fraction_of_dram": 0.5, "status": "ok",
+               "evaluations": []}],
+    "cells": [
+        {"preset": "astriflash", "offered_qps": 500.0,
+         "achieved_qps": 500.0, "completed_jobs": 100,
+         "unfinished_jobs": 0, "backlog_fraction": 0.0,
+         "censored": False, "p99_us": 120.0, "observed_p99_us": 120.0,
+         "p99_lower_bound_us": None, "service_p99_us": 90.0,
+         "response_mean_us": 40.0, "meets_slo": True},
+        {"preset": "astriflash", "offered_qps": 1000.0,
+         "achieved_qps": 980.0, "completed_jobs": 200,
+         "unfinished_jobs": 30, "backlog_fraction": 0.13,
+         "censored": True, "p99_us": None, "observed_p99_us": 300.0,
+         "p99_lower_bound_us": 450.0, "service_p99_us": 95.0,
+         "response_mean_us": 80.0, "meets_slo": False},
+    ],
+}
+
+SWEEP_PAYLOAD = {
+    "experiment": "fig9", "scale": "quick",
+    "wall_seconds_snapshots_off": 10.0,
+    "wall_seconds_snapshots_cold": 11.0,
+    "wall_seconds_snapshots_on": 4.0, "speedup": 2.5,
+    "schema_version": 1, "config_preset": "quick",
+}
+
+PROFILE_PAYLOAD = {
+    "experiment": "fig9", "scale": "quick", "wall_seconds": 2.0,
+    "total_calls": 100000, "events_executed": 50000,
+    "events_per_second": 25000.0, "schema_version": 3,
+    "config_preset": "quick", "warm_wall_seconds": 0.0,
+    "backend": "vector", "scalar_fallbacks": 2,
+    "fallback_reasons": {"tracing active (per-event observation)": 2},
+    "hotspots": [{"function": "repro/sim/engine.py:1(run)",
+                  "calls": 1000, "total_s": 0.5, "cumulative_s": 1.5}],
+}
+
+
+class TestDashboard:
+    def test_empty_ledger_renders(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))
+        out = tmp_path / "report.html"
+        assert main(["dashboard", "--out", str(out), "--bench"]) == 0
+        capsys.readouterr()
+        text = _check_html(out)
+        assert "Run ledger" in text
+        assert "ledger is empty" in text
+
+    def test_renders_all_five_schemas(self, tmp_path, monkeypatch,
+                                      capsys):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))
+        payloads = {
+            "BENCH_kernel.json": KERNEL_PAYLOAD,
+            "BENCH_chaos.json": CHAOS_PAYLOAD,
+            "BENCH_loadgen.json": LOADGEN_PAYLOAD,
+            "BENCH_sweep.json": SWEEP_PAYLOAD,
+            "PROFILE_fig9.json": PROFILE_PAYLOAD,
+        }
+        paths = []
+        for name, payload in payloads.items():
+            path = tmp_path / name
+            path.write_text(json.dumps(payload))
+            paths.append(str(path))
+        append_record(make_record("simulate", preset="astriflash",
+                                  metrics={"runner/service_p99_ns": 5e4}))
+        out = tmp_path / "report.html"
+        assert main(["dashboard", "--out", str(out), "--bench"]
+                    + paths) == 0
+        capsys.readouterr()
+        text = _check_html(out)
+        for marker in ("Kernel bench", "Chaos degradation",
+                       "Loadgen knee", "Sweep bench", "Profile hotspots",
+                       "Run ledger", "<svg"):
+            assert marker in text, marker
+        # Self-contained: no external fetches.
+        assert "http://" not in text and "https://" not in text
+        assert "<script src" not in text
+
+    def test_sparkline_and_chart_helpers(self):
+        from repro.metrics.dashboard import svg_chart, svg_sparkline
+
+        assert "<svg" in svg_sparkline([1.0, 2.0, 3.0])
+        assert "no data" in svg_sparkline([])
+        chart = svg_chart({"series": [(0.0, 1.0), (1.0, 2.0)]},
+                          x_label="x", y_label="y")
+        assert "<svg" in chart and "series" in chart
+
+    def test_missing_out_dir_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            render_dashboard(tmp_path / "absent" / "report.html",
+                             bench_paths=[])
+
+
+# ----------------------------------------------- fallback observability --
+
+
+class TestFallbackSurfacing:
+    def test_vector_fallback_reasons_tracked(self):
+        from repro.sim import vector
+
+        before = vector.fallback_reasons()
+        vector.record_fallback("test reason (unit)")
+        after = vector.fallback_reasons()
+        assert after.get("test reason (unit)", 0) \
+            == before.get("test reason (unit)", 0) + 1
+
+    def test_simulate_warns_on_silent_fallback(self, capsys):
+        # Multi-core forces the scalar fallback under --backend vector.
+        assert main([
+            "simulate", "--config", "dram-only", "--workload",
+            "arrayswap", "--dataset-pages", "2048",
+            "--measurement-us", "100", "--cores", "2",
+            "--backend", "vector",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "fell back to scalar" in err
+        assert "multi-core" in err
+
+    def test_profile_report_carries_fallback_fields(self):
+        from repro.perf import PROFILE_SCHEMA_VERSION, ProfileReport
+
+        assert PROFILE_SCHEMA_VERSION == 3
+        report = ProfileReport(
+            experiment="fig9", scale="quick", wall_seconds=1.0,
+            total_calls=10, events_executed=100,
+            events_per_second=100.0, scalar_fallbacks=3,
+            fallback_reasons={"tracing active": 3})
+        assert "scalar fallbacks" in report.format_text()
+        assert report.key_metrics()["profile/scalar_fallbacks"] == 3.0
+
+
+# ------------------------------------------------------------ telemetry --
+
+
+class TestTelemetryColumns:
+    def test_new_columns_appended_after_stable_prefix(self):
+        from repro.obs.telemetry import TELEMETRY_FIELDS
+
+        stable = ("run", "time_us", "msr_occupancy", "runq_jobs",
+                  "new_threads", "pending_threads", "dirty_ways",
+                  "flash_inflight", "bc_queue_depth", "core_busy")
+        assert TELEMETRY_FIELDS[:len(stable)] == stable
+        for column in ("gc_blocked_fraction", "erase_count_max",
+                       "erase_count_mean", "fault_stall_ns"):
+            assert column in TELEMETRY_FIELDS
+
+    def test_sampler_populates_flash_columns(self):
+        from repro.config import make_config
+        from repro.core import Runner
+        from repro.obs.tracer import Tracer, disable, enable
+        from repro.units import US
+        from repro.workloads import make_workload
+
+        config = make_config("astriflash")
+        config.num_cores = 1
+        config.scale.dataset_pages = 2048
+        config.scale.measurement_ns = 400 * US
+        workload = make_workload("arrayswap", 2048, seed=3)
+        tracer = Tracer(telemetry_interval_ns=50 * US)
+        enable(tracer)
+        try:
+            Runner(config, workload).run()
+        finally:
+            disable()
+        assert tracer.telemetry_rows
+        row = tracer.telemetry_rows[-1]
+        for column in ("gc_blocked_fraction", "erase_count_max",
+                       "erase_count_mean", "fault_stall_ns"):
+            assert column in row
+            assert math.isfinite(row[column])
