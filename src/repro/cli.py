@@ -159,6 +159,12 @@ def _build_parser() -> argparse.ArgumentParser:
     kernel_parser.add_argument("--repeat", type=int, default=3,
                                help="timed runs per backend; the best "
                                     "wall is reported (default 3)")
+    kernel_parser.add_argument("--shape", action="append", default=None,
+                               choices=("fused", "flash-sync",
+                                        "open-loop", "multi-core"),
+                               help="bench only this run shape (repeat "
+                                    "the flag for several; default: all "
+                                    "four shapes)")
     kernel_parser.add_argument("--json", dest="json_out", default=None,
                                metavar="PATH",
                                help="also write the bench as JSON "
@@ -199,6 +205,12 @@ def _build_parser() -> argparse.ArgumentParser:
                                    "identical curves)")
     chaos_parser.add_argument("--jobs", type=int, default=None,
                               help=jobs_help)
+    chaos_parser.add_argument("--backend", default=None,
+                              choices=("scalar", "vector"),
+                              help="execution backend for the sweep "
+                                   "(default: $REPRO_BACKEND or vector; "
+                                   "unsupported cells fall back to "
+                                   "scalar, bit-identically)")
     chaos_parser.add_argument("--json", dest="json_out", default=None,
                               metavar="PATH",
                               help="also write the curves as JSON "
@@ -254,6 +266,12 @@ def _build_parser() -> argparse.ArgumentParser:
     loadgen_parser.add_argument("--seed", type=int, default=42)
     loadgen_parser.add_argument("--jobs", type=int, default=None,
                                 help=jobs_help)
+    loadgen_parser.add_argument("--backend", default=None,
+                                choices=("scalar", "vector"),
+                                help="execution backend for the sweep "
+                                     "(default: $REPRO_BACKEND or "
+                                     "vector; unsupported cells fall "
+                                     "back to scalar, bit-identically)")
     loadgen_parser.add_argument("--json", dest="json_out", nargs="?",
                                 const="BENCH_loadgen.json", default=None,
                                 metavar="PATH",
@@ -585,16 +603,19 @@ def cmd_bench_kernel(args: argparse.Namespace) -> int:
     else:
         backends = ("scalar", "vector")
     bench = bench_kernel(scale=args.scale, backends=backends,
-                         repeat=args.repeat)
+                         repeat=args.repeat,
+                         shapes=tuple(args.shape) if args.shape else None)
     print(bench.format_text())
     if args.json_out is not None:
         bench.write_json(args.json_out)
         print(f"wrote {args.json_out}")
-    for entry in bench.entries:
-        if entry.backend == "vector":
-            _warn_vector_fallback(
-                "vector", entry.vector_stats.get("scalar_fallbacks", 0),
-                entry.fallback_reasons)
+    for shape in bench.shapes:
+        for entry in shape.entries:
+            if entry.backend == "vector":
+                _warn_vector_fallback(
+                    "vector",
+                    entry.vector_stats.get("scalar_fallbacks", 0),
+                    entry.fallback_reasons)
     fingerprint = bench.entries[0].state_fingerprint \
         if bench.entries else ""
     _append_ledger(
@@ -643,15 +664,20 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     bench = run_chaos(
         args.experiment, scale=args.scale, rber_points=rber_points,
         fault_seed=args.fault_seed, workload=args.workload,
-        jobs=args.jobs,
+        jobs=args.jobs, backend=args.backend,
     )
     print(bench.format_text())
     if args.json_out is not None:
         bench.write_json(args.json_out)
         print(f"wrote {args.json_out}")
+    if bench.execution.get("backend") == "vector":
+        _warn_vector_fallback("vector",
+                              bench.execution.get("scalar_cells", 0),
+                              bench.execution.get("fallback_reasons"))
     _append_ledger(
         "chaos", experiment=args.experiment, scale=bench.scale,
         preset=bench.config_preset, workload=bench.workload,
+        backend=bench.execution.get("backend", ""),
         seed=args.fault_seed, metrics=bench.key_metrics(),
         fingerprint=bench.fingerprint(),
         artifacts=[args.json_out] if args.json_out else [],
@@ -669,14 +695,20 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         fault_seed=args.fault_seed, seed=args.seed,
         backlog_threshold=args.backlog_threshold,
         refine_evals=args.refine_evals, jobs=args.jobs,
+        backend=args.backend,
     )
     print(bench.format_text())
     if args.json_out is not None:
         bench.write_json(args.json_out)
         print(f"wrote {args.json_out}")
+    if bench.execution.get("backend") == "vector":
+        _warn_vector_fallback("vector",
+                              bench.execution.get("scalar_cells", 0),
+                              bench.execution.get("fallback_reasons"))
     _append_ledger(
         "loadgen", experiment=args.experiment, scale=bench.scale,
         preset=bench.config_preset, workload=bench.workload,
+        backend=bench.execution.get("backend", ""),
         seed=bench.seed, metrics=bench.key_metrics(),
         fingerprint=bench.fingerprint(),
         artifacts=[args.json_out] if args.json_out else [],

@@ -290,6 +290,12 @@ class Runner:
             # heap-free; spawn/start_measurement/burst events are
             # accounted through Engine.advance_batch.
             _vector.run_fused(self)
+        elif self._vector_kind in ("open-loop", "multi-core"):
+            # Open-loop and/or multi-core DRAM-only: arrivals, core
+            # resumes, and the measurement boundary advance as one
+            # merged event horizon — a heap-free (time, seq) mirror of
+            # the scalar schedule.
+            _vector.run_merged(self)
         else:
             if open_loop:
                 for core_id in range(self.config.num_cores):
@@ -308,6 +314,9 @@ class Runner:
             if self._vector_tlb_rng is not None:
                 self._vector_tlb_rng.sync()
             self.workload.plan_sync()
+            gap_sync = getattr(self.arrivals, "gap_sync", None)
+            if gap_sync is not None:
+                gap_sync()
         if tracer is not None:
             tracer.end_run(engine.now)
 
@@ -698,6 +707,13 @@ class Runner:
 
         while True:
             job = self._next_job(core_id)
+            if job is None:
+                # Open-loop idle: park exactly like the scalar loop —
+                # no event for the park itself, one for the wake.
+                signal = Signal(engine, f"idle{core_id}")
+                self._idle[core_id] = signal
+                yield signal
+                continue
             job.started_at = engine.now
             compute, pages, writes = plan(job)
             num_steps = len(compute)

@@ -26,8 +26,9 @@ from dataclasses import asdict, dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
-from repro.harness.common import resolve_scale
+from repro.harness.common import build_config, resolve_scale
 from repro.jsonutil import dumps as json_dumps
+from repro.sim import vector as _vector
 from repro.harness.parallel import (
     ParallelRunError,
     RunSpec,
@@ -37,7 +38,10 @@ from repro.harness.parallel import (
 
 #: Bump when the JSON layout of :class:`ChaosBench` changes so CI
 #: consumers of ``BENCH_chaos.json`` can detect incompatible files.
-CHAOS_SCHEMA_VERSION = 1
+#: v2: added the ``execution`` backend-accounting block (backend name,
+#: vector/scalar cell counts, per-kind and per-fallback-reason
+#: histograms).
+CHAOS_SCHEMA_VERSION = 2
 
 #: Presets used when an experiment module exposes no ``CONFIGS`` tuple.
 DEFAULT_PRESETS: Tuple[str, ...] = ("astriflash", "flash-sync")
@@ -97,6 +101,13 @@ class ChaosBench:
     monotonic_p99: bool = True
     schema_version: int = CHAOS_SCHEMA_VERSION
     config_preset: str = ""  # HarnessScale.name the run resolved to
+    #: Backend accounting (schema v2): which execution backend the
+    #: sweep requested and, per run shape, how many cells the vector
+    #: backend accepted (``vector_kinds``) versus fell back on
+    #: (``fallback_reasons``).  Derived from config facts only, so it
+    #: is deterministic — but it names the backend, so CI byte-diffs
+    #: across backends must exclude this key.
+    execution: dict = field(default_factory=dict)
 
     def curve(self, preset: str) -> List[ChaosCell]:
         """The preset's cells in sweep order."""
@@ -234,9 +245,17 @@ def run_chaos(experiment: str = "fig9", scale="quick",
               presets: Optional[Sequence[str]] = None,
               jobs: Optional[int] = None,
               snapshots: Optional[bool] = None,
-              snapshot_dir=None) -> ChaosBench:
-    """Sweep injected fault rates and build the degradation curves."""
+              snapshot_dir=None,
+              backend: Optional[str] = None) -> ChaosBench:
+    """Sweep injected fault rates and build the degradation curves.
+
+    ``backend`` selects the execution backend for every cell (default:
+    :func:`repro.sim.vector.preferred_backend` — vector unless
+    ``$REPRO_BACKEND`` overrides); faulted cells fall back per run and
+    the ``execution`` block accounts for both populations.
+    """
     scale = resolve_scale(scale)
+    backend = _vector.preferred_backend(backend)
     if rber_points is None:
         rber_points = DEFAULT_RBER_POINTS
     rber_points = tuple(sorted(set(float(p) for p in rber_points)))
@@ -255,7 +274,7 @@ def run_chaos(experiment: str = "fig9", scale="quick",
     ]
     try:
         results = run_specs(specs, jobs=jobs, snapshots=snapshots,
-                            snapshot_dir=snapshot_dir)
+                            snapshot_dir=snapshot_dir, backend=backend)
     except ParallelRunError:
         # Some point of the grid died (DeviceFailedError at an extreme
         # fault rate).  Re-run cell by cell so the surviving points
@@ -264,7 +283,8 @@ def run_chaos(experiment: str = "fig9", scale="quick",
         for spec in specs:
             try:
                 results.append(execute_spec(spec, snapshots=snapshots,
-                                            snapshot_dir=snapshot_dir))
+                                            snapshot_dir=snapshot_dir,
+                                            backend=backend))
             except ReproError:
                 results.append(None)
 
@@ -297,4 +317,16 @@ def run_chaos(experiment: str = "fig9", scale="quick",
         config_preset=scale.name,
     )
     bench.monotonic_p99 = _check_monotonic(bench)
+
+    # Backend accounting (schema v2): classified from config facts so
+    # the block is identical whether cells executed or came from the
+    # cache.  Chaos cells are closed-loop; rber > 0 activates a fault
+    # plan (per-read outcome draws), which the vector backend refuses.
+    shape_counts = []
+    for preset in presets:
+        config = build_config(preset, scale)
+        for rber in rber_points:
+            shape_counts.append((config.mode, config.num_cores, False,
+                                 rber > 0.0, 1))
+    bench.execution = _vector.execution_summary(backend, shape_counts)
     return bench

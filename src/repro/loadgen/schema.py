@@ -16,7 +16,10 @@ from repro.jsonutil import dumps
 
 #: Bump when the JSON layout of :class:`LoadgenBench` changes so CI
 #: consumers of ``BENCH_loadgen.json`` can detect incompatible files.
-LOADGEN_SCHEMA_VERSION = 1
+#: v2: added the ``execution`` backend-accounting block (backend name,
+#: vector/scalar cell counts, per-kind and per-fallback-reason
+#: histograms).
+LOADGEN_SCHEMA_VERSION = 2
 
 #: Default censoring threshold: a cell whose unfinished-job backlog
 #: exceeds this fraction of offered requests cannot certify a p99 from
@@ -103,6 +106,13 @@ class LoadgenBench:
     monotonic_p99: bool = True
     schema_version: int = LOADGEN_SCHEMA_VERSION
     config_preset: str = ""  # HarnessScale.name the run resolved to
+    #: Backend accounting (schema v2): which execution backend the
+    #: sweep requested and, per run shape, how many cells the vector
+    #: backend accepted (``vector_kinds``) versus fell back on
+    #: (``fallback_reasons``).  Derived from config facts only, so it
+    #: is deterministic — but it names the backend, so CI byte-diffs
+    #: across backends must exclude this key.
+    execution: dict = field(default_factory=dict)
 
     def curve(self, preset: str) -> List[LoadgenCell]:
         """The preset's cells in sweep order."""

@@ -301,6 +301,30 @@ def _kernel_view(payload: Mapping) -> BenchView:
             view.policies[key] = {"mode": "info"}
         if backend == "scalar" and entry.get("state_fingerprint"):
             view.fingerprint = entry["state_fingerprint"]
+    # Schema v3: per-shape cells.  Bit-identity gates exactly; the
+    # per-shape speedup is a floor the baseline hand-pins (3x fused,
+    # 2x open-loop/multi-core).
+    for shape in payload.get("shapes", ()):
+        labels = {"shape": shape.get("shape", "")}
+        if shape.get("bit_identical") is not None:
+            key = format_key("kernel/bit_identical", labels)
+            view.metrics[key] = 1.0 if shape["bit_identical"] else 0.0
+            view.policies[key] = {"mode": "exact"}
+        if shape.get("speedup") is not None:
+            key = format_key("kernel/speedup", labels)
+            view.metrics[key] = float(shape["speedup"])
+            view.policies[key] = {"mode": "floor"}
+        for entry in shape.get("entries", ()):
+            entry_labels = dict(labels, backend=entry.get("backend", ""))
+            for stat, mode in (("events_executed", "exact"),
+                               ("events_per_second", "info"),
+                               ("wall_seconds", "info")):
+                value = entry.get(stat)
+                if value is None:
+                    continue
+                key = format_key(f"kernel/{stat}", entry_labels)
+                view.metrics[key] = float(value)
+                view.policies[key] = {"mode": mode}
     if not view.fingerprint:
         for entry in payload.get("entries", ()):
             if entry.get("state_fingerprint"):

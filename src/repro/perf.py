@@ -362,7 +362,12 @@ def bench_sweep(experiment: str = "fig1", scale: str = "quick",
 #: consumers of ``BENCH_kernel.json`` can detect incompatible files.
 #: v2: per-entry ``fallback_reasons`` (vector->scalar fallback counts
 #: by reason) ride along with ``vector_stats``.
-KERNEL_BENCH_SCHEMA_VERSION = 2
+#: v3: multi-shape cells — ``shapes`` holds one
+#: :class:`KernelShapeBench` per run shape (fused, flash-sync,
+#: open-loop, multi-core); the top-level ``entries`` /
+#: ``bit_identical`` / ``speedup`` mirror the first shape benched
+#: (``fused`` by default) for baseline compatibility.
+KERNEL_BENCH_SCHEMA_VERSION = 3
 
 #: Kernel-bench request length (arrayswap ``ops_per_job``).  Long
 #: requests keep the bench inside the batch-execution kernel rather
@@ -390,17 +395,58 @@ class KernelBackendEntry:
     fallback_reasons: Dict[str, int] = field(default_factory=dict)
 
 
+#: The run shapes ``bench-kernel`` times, in bench order.  Each pins
+#: one vector loop kind: ``fused`` the DRAM-only batch loop,
+#: ``flash-sync`` the job-epoch loop, ``open-loop`` the merged
+#: arrival/execution horizon, ``multi-core`` the lockstep merged loop.
+KERNEL_BENCH_SHAPES = ("fused", "flash-sync", "open-loop", "multi-core")
+
+#: Shape name -> (config preset, cores, arrival process).
+_SHAPE_SETUPS = {
+    "fused": ("dram-only", 1, "closed"),
+    "flash-sync": ("flash-sync", 1, "closed"),
+    "open-loop": ("dram-only", 1, "poisson"),
+    "multi-core": ("dram-only", 2, "closed"),
+}
+
+
+@dataclass
+class KernelShapeBench:
+    """One run shape's backend entries + bit-identity verdict."""
+
+    shape: str            # KERNEL_BENCH_SHAPES member
+    workload: str
+    config_preset: str
+    num_cores: int
+    arrival: str          # "closed" or "poisson"
+    entries: List[KernelBackendEntry] = field(default_factory=list)
+    bit_identical: Optional[bool] = None  # None until both backends ran
+    speedup: Optional[float] = None       # vector/scalar events-per-sec
+
+    def entry(self, backend: str) -> KernelBackendEntry:
+        for item in self.entries:
+            if item.backend == backend:
+                return item
+        raise ReproError(
+            f"no {backend!r} entry in the {self.shape!r} shape cell")
+
+
 @dataclass
 class KernelBench:
-    """Scalar-vs-vector kernel throughput on one pinned configuration.
+    """Scalar-vs-vector kernel throughput across the pinned run shapes.
 
-    The configuration is the *batch-execution kernel* shape: DRAM-only,
-    one core, closed-loop arrayswap with long requests
-    (:data:`KERNEL_BENCH_OPS_PER_JOB`), a widened measurement window
-    (:data:`KERNEL_BENCH_WINDOW_FACTOR`).  Both backends replay the
-    identical simulation — ``bit_identical`` asserts the
+    Every shape cell runs closed or open-loop arrayswap with long
+    requests (:data:`KERNEL_BENCH_OPS_PER_JOB`) and a widened
+    measurement window (:data:`KERNEL_BENCH_WINDOW_FACTOR`) on the
+    preset/core-count/arrival combination its vector loop kind pins
+    (see :data:`KERNEL_BENCH_SHAPES`).  Both backends replay the
+    identical simulation — per-shape ``bit_identical`` asserts the
     ``state_fingerprint`` and deterministic result fields match — so
-    ``speedup`` (vector/scalar events-per-second) is apples-to-apples.
+    per-shape ``speedup`` (vector/scalar events-per-second) is
+    apples-to-apples.  The top-level ``entries`` / ``speedup`` mirror
+    the first shape benched (``fused`` by default) so schema-v2
+    consumers and floor baselines keep reading the batch-loop figure;
+    the top-level ``bit_identical`` is the conjunction across shapes.
     """
 
     workload: str
@@ -412,6 +458,7 @@ class KernelBench:
     bit_identical: Optional[bool] = None  # None until both backends ran
     speedup: Optional[float] = None       # vector/scalar events-per-sec
     schema_version: int = KERNEL_BENCH_SCHEMA_VERSION
+    shapes: List[KernelShapeBench] = field(default_factory=list)
 
     def entry(self, backend: str) -> KernelBackendEntry:
         for item in self.entries:
@@ -419,28 +466,43 @@ class KernelBench:
                 return item
         raise ReproError(f"no {backend!r} entry in this kernel bench")
 
+    def shape(self, name: str) -> KernelShapeBench:
+        for cell in self.shapes:
+            if cell.shape == name:
+                return cell
+        raise ReproError(f"no {name!r} shape cell in this kernel bench")
+
     def format_text(self) -> str:
         lines = [
-            f"kernel bench: {self.workload} on {self.config_preset} "
+            f"kernel bench: {self.workload} "
             f"(scale={self.scale}, ops_per_job={self.ops_per_job}, "
             f"best of {self.repeat})",
         ]
-        for item in self.entries:
+        for cell in self.shapes:
             lines.append(
-                f"  {item.backend:<7} {item.wall_seconds * 1e3:8.2f} ms   "
-                f"{item.events_executed:>10,} events   "
-                f"{item.events_per_second:>12,.0f} events/s"
-            )
-            if item.fallback_reasons:
-                reasons = "; ".join(
-                    f"{reason} x{count}" for reason, count
-                    in sorted(item.fallback_reasons.items()))
-                lines.append(f"          scalar fallbacks: {reasons}")
+                f"  shape {cell.shape} ({cell.config_preset}, "
+                f"{cell.num_cores} core(s), {cell.arrival}):")
+            for item in cell.entries:
+                lines.append(
+                    f"    {item.backend:<7} "
+                    f"{item.wall_seconds * 1e3:8.2f} ms   "
+                    f"{item.events_executed:>10,} events   "
+                    f"{item.events_per_second:>12,.0f} events/s"
+                )
+                if item.fallback_reasons:
+                    reasons = "; ".join(
+                        f"{reason} x{count}" for reason, count
+                        in sorted(item.fallback_reasons.items()))
+                    lines.append(f"            scalar fallbacks: "
+                                 f"{reasons}")
+            if cell.bit_identical is not None:
+                lines.append(f"    bit-identical   {cell.bit_identical}")
+            if cell.speedup is not None:
+                lines.append(f"    speedup         {cell.speedup:.2f}x "
+                             "(vector/scalar events per second)")
         if self.bit_identical is not None:
-            lines.append(f"  bit-identical   {self.bit_identical}")
-        if self.speedup is not None:
-            lines.append(f"  speedup         {self.speedup:.2f}x "
-                         "(vector/scalar events per second)")
+            lines.append(f"  bit-identical (all shapes)   "
+                         f"{self.bit_identical}")
         return "\n".join(lines)
 
     def to_json(self) -> str:
@@ -478,8 +540,9 @@ def canonical_result_dict(result) -> Dict[str, object]:
 def bench_kernel(scale: str = "quick",
                  backends: Sequence[str] = ("scalar", "vector"),
                  repeat: int = 3,
-                 ops_per_job: int = KERNEL_BENCH_OPS_PER_JOB) -> KernelBench:
-    """Time the batch-execution kernel on each backend.
+                 ops_per_job: int = KERNEL_BENCH_OPS_PER_JOB,
+                 shapes: Optional[Sequence[str]] = None) -> KernelBench:
+    """Time the execution kernel on each backend, per run shape.
 
     Each timed run builds a fresh workload and runner (simulation state
     is single-use), executes once, and keeps the best-of-``repeat``
@@ -487,25 +550,35 @@ def bench_kernel(scale: str = "quick",
     excludes warmup by construction.  When both backends run, the
     fingerprints and deterministic result fields are compared on
     *every* repeat — a single divergent run fails the bench rather
-    than averaging away.
+    than averaging away.  ``shapes`` restricts the benched cells
+    (default: all of :data:`KERNEL_BENCH_SHAPES`).
     """
     from repro.config import make_config  # deferred: heavy
     from repro.core import Runner
     from repro.harness import resolve_scale
     from repro.sim import vector
     from repro.units import US
-    from repro.workloads import make_workload
+    from repro.workloads import PoissonArrivals, make_workload
 
     if repeat < 1:
         raise ReproError("kernel bench needs at least one repeat")
     for name in backends:
         vector.resolve_backend(name)  # validate early
+    shapes = tuple(shapes) if shapes is not None else KERNEL_BENCH_SHAPES
+    if not shapes:
+        raise ReproError("kernel bench needs at least one shape")
+    for name in shapes:
+        if name not in _SHAPE_SETUPS:
+            known = ", ".join(KERNEL_BENCH_SHAPES)
+            raise ReproError(
+                f"unknown kernel bench shape {name!r}; known: {known}")
 
     harness_scale = resolve_scale(scale)
 
-    def one_run(backend: str):
-        config = make_config("dram-only")
-        config.num_cores = 1
+    def one_run(shape: str, backend: str):
+        preset, num_cores, arrival = _SHAPE_SETUPS[shape]
+        config = make_config(preset)
+        config.num_cores = num_cores
         config.scale.dataset_pages = harness_scale.dataset_pages
         config.scale.warmup_ns = harness_scale.warmup_us * US
         config.scale.measurement_ns = (harness_scale.measurement_us
@@ -513,61 +586,95 @@ def bench_kernel(scale: str = "quick",
         workload = make_workload("arrayswap", harness_scale.dataset_pages,
                                  seed=42, zipf_s=harness_scale.zipf_s,
                                  ops_per_job=ops_per_job)
-        runner = Runner(config, workload, backend=backend)
+        arrivals = None
+        if arrival == "poisson":
+            # Per-core mean interarrival scaled to the request length:
+            # a moderately loaded open queue — busy cores with a live
+            # backlog, but arrivals still interleave the event horizon.
+            arrivals = PoissonArrivals(ops_per_job * 1000.0, seed=43)
+        runner = Runner(config, workload, arrivals=arrivals,
+                        backend=backend)
         before = total_events_executed()
         result = runner.run()
         events = total_events_executed() - before
         return (result, events, runner.machine.state_fingerprint())
 
+    def bench_shape(shape: str) -> KernelShapeBench:
+        preset, num_cores, arrival = _SHAPE_SETUPS[shape]
+        cell = KernelShapeBench(
+            shape=shape,
+            workload="arrayswap",
+            config_preset=preset,
+            num_cores=num_cores,
+            arrival=arrival,
+        )
+        baseline = None  # (fingerprint, canonical) of the first run
+        identical = True
+        for backend in backends:
+            best_wall = None
+            events = 0
+            fingerprint = ""
+            stats_before = vector.stats()
+            reasons_before = vector.fallback_reasons()
+            for _ in range(repeat):
+                result, events, fingerprint = one_run(shape, backend)
+                wall = result.wall_seconds
+                best_wall = (wall if best_wall is None
+                             else min(best_wall, wall))
+                canonical = canonical_result_dict(result)
+                if baseline is None:
+                    baseline = (fingerprint, canonical)
+                elif (fingerprint, canonical) != baseline:
+                    identical = False
+            stats_after = vector.stats()
+            reasons_after = vector.fallback_reasons()
+            cell.entries.append(KernelBackendEntry(
+                backend=backend,
+                wall_seconds=best_wall,
+                events_executed=events,
+                events_per_second=(events / best_wall
+                                   if best_wall > 0 else 0.0),
+                state_fingerprint=fingerprint,
+                vector_stats={
+                    key: stats_after[key] - stats_before.get(key, 0)
+                    for key in stats_after} if backend == "vector"
+                else {},
+                fallback_reasons={
+                    reason: count - reasons_before.get(reason, 0)
+                    for reason, count in reasons_after.items()
+                    if count - reasons_before.get(reason, 0) > 0
+                } if backend == "vector" else {},
+            ))
+        if len(cell.entries) >= 2:
+            cell.bit_identical = identical
+            try:
+                scalar_eps = cell.entry("scalar").events_per_second
+                vector_eps = cell.entry("vector").events_per_second
+            except ReproError:
+                pass  # exotic backend list; ratio undefined
+            else:
+                cell.speedup = (vector_eps / scalar_eps
+                                if scalar_eps > 0 else 0.0)
+        return cell
+
     bench = KernelBench(
         workload="arrayswap",
         scale=harness_scale.name,
-        config_preset="dram-only",
+        config_preset=_SHAPE_SETUPS[shapes[0]][0],
         ops_per_job=ops_per_job,
         repeat=repeat,
     )
-    baseline = None  # (fingerprint, canonical result) of the first run
-    identical = True
-    for backend in backends:
-        best_wall = None
-        events = 0
-        fingerprint = ""
-        stats_before = vector.stats()
-        reasons_before = vector.fallback_reasons()
-        for _ in range(repeat):
-            result, events, fingerprint = one_run(backend)
-            wall = result.wall_seconds
-            best_wall = wall if best_wall is None else min(best_wall, wall)
-            canonical = canonical_result_dict(result)
-            if baseline is None:
-                baseline = (fingerprint, canonical)
-            elif (fingerprint, canonical) != baseline:
-                identical = False
-        stats_after = vector.stats()
-        reasons_after = vector.fallback_reasons()
-        bench.entries.append(KernelBackendEntry(
-            backend=backend,
-            wall_seconds=best_wall,
-            events_executed=events,
-            events_per_second=(events / best_wall if best_wall > 0 else 0.0),
-            state_fingerprint=fingerprint,
-            vector_stats={key: stats_after[key] - stats_before.get(key, 0)
-                          for key in stats_after} if backend == "vector"
-            else {},
-            fallback_reasons={
-                reason: count - reasons_before.get(reason, 0)
-                for reason, count in reasons_after.items()
-                if count - reasons_before.get(reason, 0) > 0
-            } if backend == "vector" else {},
-        ))
-    if len(bench.entries) >= 2:
-        bench.bit_identical = identical
-        try:
-            scalar_eps = bench.entry("scalar").events_per_second
-            vector_eps = bench.entry("vector").events_per_second
-        except ReproError:
-            pass  # exotic backend list; ratio undefined
-        else:
-            bench.speedup = (vector_eps / scalar_eps
-                             if scalar_eps > 0 else 0.0)
+    for name in shapes:
+        bench.shapes.append(bench_shape(name))
+    # Top-level mirror of the first shape (fused by default): keeps
+    # schema-v2 consumers and the hand-pinned speedup floor reading
+    # the batch-loop figure.  bit_identical is the all-shapes verdict
+    # so one divergent cell fails the whole bench.
+    first = bench.shapes[0]
+    bench.entries = first.entries
+    bench.speedup = first.speedup
+    verdicts = [cell.bit_identical for cell in bench.shapes
+                if cell.bit_identical is not None]
+    if verdicts:
+        bench.bit_identical = all(verdicts)
     return bench

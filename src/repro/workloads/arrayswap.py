@@ -66,6 +66,27 @@ class ArraySwapWorkload(Workload):
         jitter = self._planner_rng().take(steps_per_job * num_jobs)
         return self.compute_ns * (0.5 + jitter), steps_per_job
 
+    @property
+    def uniform_steps_per_job(self) -> int:
+        """Every job has the same step count (merged-loop dealing)."""
+        return 4 * self.ops_per_job
+
+    def plan_step_block(self, num_steps):
+        """Compute values for the next ``num_steps`` steps as one
+        global per-step stream (merged open-loop/multi-core backend).
+
+        Unlike :meth:`plan_compute_block` this is *not* aligned to job
+        boundaries: the merged loop deals steps to cores in global
+        event order, which for the jitter stream is exactly the order
+        the scalar generators would draw (jitter draws happen at step
+        generation, one per step, regardless of which core's job pulls
+        next).  Zipf address draws are skipped — DRAM-only mode never
+        observes pages, and RNG stream positions sit outside the
+        bit-identity contract.
+        """
+        jitter = self._planner_rng().take(num_steps)
+        return self.compute_ns * (0.5 + jitter)
+
     def _columns_from(self, pairs, jitter, ops):
         compute = (self.compute_ns * (0.5 + jitter)).tolist()
         pages = []

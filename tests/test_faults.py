@@ -388,5 +388,5 @@ class TestChaosHarness:
 
     def test_schema_version_is_stamped(self):
         bench = self._bench([1.0])
-        assert bench.schema_version == CHAOS_SCHEMA_VERSION == 1
-        assert '"schema_version": 1' in bench.to_json()
+        assert bench.schema_version == CHAOS_SCHEMA_VERSION == 2
+        assert '"schema_version": 2' in bench.to_json()

@@ -229,7 +229,7 @@ class TestRunLoadgen:
                 bench.qps_points
 
     def test_schema_stamp_and_normalization(self, bench):
-        assert bench.schema_version == 1
+        assert bench.schema_version == 2
         assert bench.saturation_qps > 0
         assert bench.slo_us > 0
         for knee in bench.knees:
@@ -247,7 +247,7 @@ class TestRunLoadgen:
 
     def test_json_round_trips_strictly(self, bench):
         document = json.loads(bench.to_json())
-        assert document["schema_version"] == 1
+        assert document["schema_version"] == 2
         assert "Infinity" not in bench.to_json()
         assert "NaN" not in bench.to_json()
 
@@ -258,6 +258,37 @@ class TestRunLoadgen:
             refine_evals=1, cache_dir=str(tmp_path),
         )
         assert rerun.to_json() == bench.to_json()
+
+    def test_execution_block_accounts_every_cell(self, bench):
+        execution = bench.execution
+        assert execution["backend"] in ("scalar", "vector")
+        total_runs = len(bench.cells) + sum(
+            max(0, len(knee.evaluations) - len(bench.curve(knee.preset)))
+            for knee in bench.knees) + 1  # + the saturation probe
+        assert execution["vector_cells"] + execution["scalar_cells"] \
+            == total_runs
+        if execution["backend"] == "vector":
+            # TINY is one core: the dram-only open-loop cells ride the
+            # merged arrival horizon; astriflash multiplexes threads
+            # per burst and legitimately stays scalar.
+            assert execution["vector_kinds"].get("open-loop", 0) > 0
+            assert any("multiplexes" in reason for reason
+                       in execution["fallback_reasons"])
+
+    def test_backends_agree_byte_for_byte(self, bench, tmp_path):
+        scalar = run_loadgen(
+            "fig10", scale=TINY, qps_sweep="0.4x:0.9x:2",
+            workload="arrayswap", presets=("dram-only", "astriflash"),
+            refine_evals=1, cache_dir=str(tmp_path / "s"),
+            backend="scalar",
+        )
+        other = json.loads(bench.to_json())
+        mine = json.loads(scalar.to_json())
+        assert mine.pop("execution")["backend"] == "scalar"
+        other.pop("execution")
+        # Everything simulation-derived must match byte for byte; only
+        # the execution-accounting block may name a different backend.
+        assert dumps(mine) == dumps(other)
 
     def test_unknown_arrival_kind_raises(self):
         with pytest.raises(ReproError):

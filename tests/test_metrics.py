@@ -113,6 +113,30 @@ class TestBenchView:
             "kernel/wall_seconds{backend=scalar}"]["mode"] == "info"
         assert view.fingerprint == "abc"
 
+    def test_kernel_view_shape_cells(self):
+        payload = {
+            "ops_per_job": 48, "entries": [],
+            "bit_identical": True, "speedup": 4.0,
+            "shapes": [
+                {"shape": "open-loop", "bit_identical": True,
+                 "speedup": 2.5,
+                 "entries": [
+                     {"backend": "vector", "events_executed": 77,
+                      "events_per_second": 1e6, "wall_seconds": 0.1},
+                 ]},
+            ],
+        }
+        view = bench_view(payload)
+        key = "kernel/bit_identical{shape=open-loop}"
+        assert view.metrics[key] == 1.0
+        assert view.policies[key]["mode"] == "exact"
+        key = "kernel/speedup{shape=open-loop}"
+        assert view.metrics[key] == 2.5
+        assert view.policies[key]["mode"] == "floor"
+        key = "kernel/events_executed{backend=vector,shape=open-loop}"
+        assert view.metrics[key] == 77.0
+        assert view.policies[key]["mode"] == "exact"
+
 
 # --------------------------------------------------------------- ledger --
 
@@ -571,16 +595,18 @@ class TestFallbackSurfacing:
             == before.get("test reason (unit)", 0) + 1
 
     def test_simulate_warns_on_silent_fallback(self, capsys):
-        # Multi-core forces the scalar fallback under --backend vector.
+        # Multi-core Flash-Sync (cores share the DRAM cache and flash
+        # path) forces the scalar fallback under --backend vector;
+        # multi-core DRAM-only now runs the merged vector loop.
         assert main([
-            "simulate", "--config", "dram-only", "--workload",
+            "simulate", "--config", "flash-sync", "--workload",
             "arrayswap", "--dataset-pages", "2048",
             "--measurement-us", "100", "--cores", "2",
             "--backend", "vector",
         ]) == 0
         err = capsys.readouterr().err
         assert "fell back to scalar" in err
-        assert "multi-core" in err
+        assert "multi-core flash-sync" in err
 
     def test_profile_report_carries_fallback_fields(self):
         from repro.perf import PROFILE_SCHEMA_VERSION, ProfileReport

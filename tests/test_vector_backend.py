@@ -31,6 +31,8 @@ from repro.sim.vector import BatchedRandom, uniform_block
 from repro.units import US
 from repro.workloads import EVALUATED_WORKLOADS, PoissonArrivals, \
     make_workload
+from repro.workloads.arrival import DiurnalArrivals, MMPPArrivals, \
+    TraceArrivals
 from repro.workloads.zipf import ZipfianGenerator
 
 SEED = 17
@@ -79,16 +81,33 @@ def test_vector_bit_identical_to_scalar(config_name, workload_name):
     assert vec == scalar
 
 
-@pytest.mark.parametrize("config_name", ["dram-only", "flash-sync"])
-def test_vector_multicore_falls_back_bit_identical(config_name):
-    vector.reset_stats()
-    scalar = identity_surface(*run_once(config_name, "arrayswap",
+@pytest.mark.parametrize("workload_name", EVALUATED_WORKLOADS)
+def test_vector_multicore_engages_bit_identical(workload_name):
+    """Multi-core DRAM-only runs the merged loop (no fallback) and
+    stays bit-identical — arrayswap takes the dealt step stream, the
+    DB workloads the generic per-pull path."""
+    scalar = identity_surface(*run_once("dram-only", workload_name,
                                         "scalar", cores=2))
-    vec = identity_surface(*run_once(config_name, "arrayswap",
+    vector.reset_stats()
+    vec = identity_surface(*run_once("dram-only", workload_name,
+                                     "vector", cores=2))
+    assert vec == scalar
+    stats = vector.stats()
+    assert stats["multi_core_runs"] == 1
+    assert stats["scalar_fallbacks"] == 0
+
+
+def test_vector_multicore_flash_sync_falls_back_bit_identical():
+    """Cores share the DRAM cache and flash path; that shape stays on
+    the scalar engine with a recorded reason."""
+    scalar = identity_surface(*run_once("flash-sync", "arrayswap",
+                                        "scalar", cores=2))
+    vector.reset_stats()
+    vec = identity_surface(*run_once("flash-sync", "arrayswap",
                                      "vector", cores=2))
     assert vec == scalar
     assert vector.stats()["scalar_fallbacks"] == 1
-    assert "multi-core" in vector.last_fallback_reason()
+    assert "multi-core flash-sync" in vector.last_fallback_reason()
 
 
 def test_fused_loop_engages_on_dram_only():
@@ -123,19 +142,70 @@ def test_truncated_final_job_matches_scalar_live_set():
 # ------------------------------------------------------ fallback gates --
 
 
-def test_open_loop_falls_back_bit_identical():
-    vector.reset_stats()
+@pytest.mark.parametrize("workload_name", EVALUATED_WORKLOADS)
+def test_open_loop_engages_bit_identical(workload_name):
+    """Open-loop Poisson on DRAM-only runs the merged loop — same
+    fingerprint and stats, including the censoring fields."""
 
     def arrivals():
         return PoissonArrivals(40.0 * US, seed=SEED + 1)
 
+    rs, res_s = run_once("dram-only", workload_name, "scalar",
+                         arrivals=arrivals())
+    vector.reset_stats()
+    rv, res_v = run_once("dram-only", workload_name, "vector",
+                         arrivals=arrivals())
+    assert identity_surface(rv, res_v) == identity_surface(rs, res_s)
+    assert res_v.unfinished_jobs == res_s.unfinished_jobs
+    assert res_v.response_p99_lower_bound_ns == \
+        res_s.response_p99_lower_bound_ns
+    stats = vector.stats()
+    assert stats["open_loop_runs"] == 1
+    assert stats["scalar_fallbacks"] == 0
+    assert stats["merged_arrivals"] > 0
+
+
+@pytest.mark.parametrize("make_arrivals", [
+    lambda: MMPPArrivals(30.0 * US, 8.0 * US, mean_dwell_ns=60.0 * US,
+                         burst_dwell_ns=25.0 * US, seed=SEED + 2),
+    lambda: DiurnalArrivals(35.0 * US, 300.0 * US, seed=SEED + 3),
+    lambda: TraceArrivals([12.0 * US] * 8, cycle=True),
+], ids=["mmpp", "diurnal", "trace-cycle"])
+@pytest.mark.parametrize("cores", [1, 2], ids=["1core", "2core"])
+def test_open_loop_arrival_modes_engage_bit_identical(make_arrivals,
+                                                      cores):
+    """Every batchable arrival process, single- and multi-core, runs
+    the merged loop bit-identically (gap_block draw replay)."""
     scalar = identity_surface(*run_once("dram-only", "arrayswap",
-                                        "scalar", arrivals=arrivals()))
+                                        "scalar", cores=cores,
+                                        arrivals=make_arrivals()))
+    vector.reset_stats()
     vec = identity_surface(*run_once("dram-only", "arrayswap",
+                                     "vector", cores=cores,
+                                     arrivals=make_arrivals()))
+    assert vec == scalar
+    stats = vector.stats()
+    assert stats["scalar_fallbacks"] == 0
+    assert stats["open_loop_runs" if cores == 1 else
+                 "multi_core_runs"] == 1
+
+
+def test_open_loop_flash_sync_engages_job_epoch_bit_identical():
+    """Single-core open-loop Flash-Sync rides the job-epoch loop (the
+    park/wake protocol mirrors the scalar idle path)."""
+
+    def arrivals():
+        return PoissonArrivals(60.0 * US, seed=SEED + 1)
+
+    scalar = identity_surface(*run_once("flash-sync", "arrayswap",
+                                        "scalar", arrivals=arrivals()))
+    vector.reset_stats()
+    vec = identity_surface(*run_once("flash-sync", "arrayswap",
                                      "vector", arrivals=arrivals()))
     assert vec == scalar
-    assert vector.stats()["scalar_fallbacks"] == 1
-    assert "open-loop" in vector.last_fallback_reason()
+    stats = vector.stats()
+    assert stats["job_epoch_runs"] == 1
+    assert stats["scalar_fallbacks"] == 0
 
 
 def test_trace_exhaustion_falls_back_bit_identical():
@@ -188,6 +258,57 @@ def test_multiplexed_modes_fall_back():
     run_once("astriflash", "arrayswap", "vector")
     assert vector.stats()["scalar_fallbacks"] == 1
     assert "multiplexes" in vector.last_fallback_reason()
+
+
+# --------------------------------------------------- gap_block protocol --
+
+
+@pytest.mark.parametrize("make_arrivals", [
+    lambda: PoissonArrivals(40.0 * US, seed=11),
+    lambda: MMPPArrivals(30.0 * US, 8.0 * US, mean_dwell_ns=60.0 * US,
+                         burst_dwell_ns=25.0 * US, seed=12, streams=2),
+    lambda: DiurnalArrivals(35.0 * US, 300.0 * US, seed=13, streams=2),
+    lambda: TraceArrivals([5.0 * US, 7.0 * US, 11.0 * US], cycle=True),
+], ids=["poisson", "mmpp", "diurnal", "trace-cycle"])
+def test_gap_block_matches_sequential_gaps(make_arrivals):
+    """gap_block(n) returns exactly the next n next_gap_ns values, in
+    mixed block sizes and interleaved with scalar calls."""
+    scalar = make_arrivals()
+    blocked = make_arrivals()
+    expected, produced = [], []
+    for size in (1, 7, 64, 3):
+        expected.extend(scalar.next_gap_ns() for _ in range(size))
+        produced.extend(blocked.gap_block(size))
+    expected.extend(scalar.next_gap_ns() for _ in range(5))
+    if hasattr(blocked, "gap_sync"):
+        blocked.gap_sync()
+    produced.extend(blocked.next_gap_ns() for _ in range(5))
+    assert produced == expected
+
+
+def test_trace_gap_block_exhausts_short():
+    """A finite trace returns a short (then empty) block and marks
+    itself exhausted, mirroring next_gap_ns returning None."""
+    trace = TraceArrivals([1.0, 2.0, 3.0])
+    assert trace.gap_block(2) == [1.0, 2.0]
+    assert not trace.exhausted
+    assert trace.gap_block(4) == [3.0]
+    assert trace.exhausted
+    assert trace.gap_block(4) == []
+    assert trace.next_gap_ns() is None
+
+
+def test_mmpp_gap_block_preserves_state_machine():
+    """Blocked draws replay the dwell/transition bookkeeping exactly
+    (state, transitions) alongside the gap values."""
+    scalar = MMPPArrivals(20.0 * US, 4.0 * US, mean_dwell_ns=30.0 * US,
+                          burst_dwell_ns=10.0 * US, seed=21)
+    blocked = MMPPArrivals(20.0 * US, 4.0 * US, mean_dwell_ns=30.0 * US,
+                           burst_dwell_ns=10.0 * US, seed=21)
+    gaps = [scalar.next_gap_ns() for _ in range(200)]
+    assert blocked.gap_block(200) == gaps
+    assert blocked.state == scalar.state
+    assert blocked.transitions == scalar.transitions
 
 
 # ------------------------------------------------------ backend choice --
@@ -357,7 +478,8 @@ class TestAdvanceBatch:
 
 class TestKernelBench:
     def test_bench_kernel_compares_backends(self):
-        bench = perf.bench_kernel(scale=TINY, repeat=1)
+        bench = perf.bench_kernel(scale=TINY, repeat=1,
+                                  shapes=("fused",))
         assert [entry.backend for entry in bench.entries] == \
             ["scalar", "vector"]
         assert bench.bit_identical is True
@@ -370,10 +492,44 @@ class TestKernelBench:
 
     def test_single_backend_has_no_identity_verdict(self):
         bench = perf.bench_kernel(scale=TINY, backends=("vector",),
-                                  repeat=1)
+                                  repeat=1, shapes=("fused",))
         assert bench.bit_identical is None
         assert bench.speedup is None
         assert len(bench.entries) == 1
+
+    def test_every_shape_cell_engages_its_loop_kind(self):
+        bench = perf.bench_kernel(scale=TINY, repeat=1)
+        assert [cell.shape for cell in bench.shapes] == \
+            list(perf.KERNEL_BENCH_SHAPES)
+        assert bench.bit_identical is True
+        expected_kind = {"fused": "fused_runs",
+                         "flash-sync": "job_epoch_runs",
+                         "open-loop": "open_loop_runs",
+                         "multi-core": "multi_core_runs"}
+        for name, stat in expected_kind.items():
+            cell = bench.shape(name)
+            assert cell.bit_identical is True, name
+            assert cell.speedup is not None and cell.speedup > 0.0
+            vec = cell.entry("vector")
+            assert vec.vector_stats[stat] >= 1, name
+            assert vec.vector_stats["scalar_fallbacks"] == 0, name
+            assert vec.fallback_reasons == {}, name
+        open_vec = bench.shape("open-loop").entry("vector")
+        assert open_vec.vector_stats["merged_arrivals"] > 0
+        # The top level mirrors the first shape (fused).
+        assert bench.entries == bench.shape("fused").entries
+        assert bench.speedup == bench.shape("fused").speedup
+
+    def test_shapes_filter_and_unknown_shape(self):
+        bench = perf.bench_kernel(scale=TINY, repeat=1,
+                                  shapes=("multi-core",))
+        assert [cell.shape for cell in bench.shapes] == ["multi-core"]
+        assert bench.entries == bench.shapes[0].entries
+        assert bench.shapes[0].num_cores == 2
+        with pytest.raises(Exception):
+            perf.bench_kernel(scale=TINY, shapes=("bogus",))
+        with pytest.raises(Exception):
+            perf.bench_kernel(scale=TINY, shapes=())
 
     def test_json_round_trip_carries_schema_stamp(self, tmp_path):
         bench = perf.bench_kernel(scale=TINY, repeat=1)
@@ -384,6 +540,10 @@ class TestKernelBench:
         assert {entry["backend"] for entry in data["entries"]} == \
             {"scalar", "vector"}
         assert data["bit_identical"] is True
+        assert [cell["shape"] for cell in data["shapes"]] == \
+            list(perf.KERNEL_BENCH_SHAPES)
+        for cell in data["shapes"]:
+            assert cell["bit_identical"] is True, cell["shape"]
 
     def test_invalid_repeat_raises(self):
         with pytest.raises(Exception):
@@ -395,12 +555,15 @@ class TestKernelBench:
         monkeypatch.setattr(perf, "KERNEL_BENCH_WINDOW_FACTOR", 0.25)
         out = tmp_path / "BENCH_kernel.json"
         assert main(["bench-kernel", "--compare", "--repeat", "1",
+                     "--shape", "fused", "--shape", "open-loop",
                      "--json", str(out)]) == 0
         captured = capsys.readouterr().out
         assert "speedup" in captured
         assert "bit-identical   True" in captured
         data = json.loads(out.read_text())
         assert len(data["entries"]) == 2
+        assert [cell["shape"] for cell in data["shapes"]] == \
+            ["fused", "open-loop"]
 
 
 # --------------------------------------------------- profile warm wall --
