@@ -10,6 +10,7 @@ Commands:
 * ``bench-sweep``                 — sweep wall time, snapshots off vs on
 * ``bench-kernel``                — batch-execution kernel, scalar vs vector
 * ``chaos <experiment>``          — fault-injection degradation curves
+* ``writes [exp]``                — admission-policy WA/lifetime sweeps
 * ``loadgen <experiment>``        — QPS sweeps and SLO knee curves
 * ``cache clean``                 — wipe or LRU-prune ``.repro_cache/``
 * ``simulate``                    — one ad-hoc simulation run
@@ -25,7 +26,8 @@ directory); the flags set the ``REPRO_SNAPSHOT`` / ``REPRO_SNAPSHOT_DIR``
 environment the harness reads.
 
 Every measuring verb (``report``, ``profile``, ``bench-kernel``,
-``bench-sweep``, ``chaos``, ``loadgen``, ``simulate``) appends a
+``bench-sweep``, ``chaos``, ``writes``, ``loadgen``, ``simulate``)
+appends a
 :class:`repro.metrics.RunRecord` to ``.repro_runs/ledger.jsonl``
 (``$REPRO_RUNS_DIR`` overrides the directory, ``REPRO_LEDGER=0``
 disables); appends are best-effort and never fail the verb.
@@ -101,6 +103,10 @@ def _build_parser() -> argparse.ArgumentParser:
                                help="also run traced simulations and "
                                     "append the tail-latency attribution "
                                     "(Table-2-style component breakdown)")
+    report_parser.add_argument("--writes", action="store_true",
+                               help="also run the write-path sweep and "
+                                    "append the WA/lifetime panel "
+                                    "(admission policies x write ratio)")
     add_snapshot_flags(report_parser)
 
     trace_parser = commands.add_parser(
@@ -216,6 +222,47 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="also write the curves as JSON "
                                    "(e.g. BENCH_chaos.json for CI)")
     add_snapshot_flags(chaos_parser)
+
+    writes_parser = commands.add_parser(
+        "writes", help="sweep DRAM->flash admission policies and KV "
+                       "SET ratios over the write-enabled presets; "
+                       "reports write amplification and P/E lifetime "
+                       "per policy; writes BENCH_writes.json for CI")
+    writes_parser.add_argument("experiment", nargs="?", default="kv",
+                               help="experiment tag recorded in the "
+                                    "bench payload (default: kv)")
+    writes_parser.add_argument("--scale", default="quick",
+                               choices=("quick", "full"))
+    writes_parser.add_argument("--write-ratio-sweep", default=None,
+                               metavar="R0,R1,...",
+                               help="comma-separated SET ratios in "
+                                    "(0, 1] (default 0.5)")
+    writes_parser.add_argument("--policies", default=None,
+                               metavar="P0,P1,...",
+                               help="admission policies to sweep "
+                                    "(subset of write-through,"
+                                    "write-back,readiness; default all "
+                                    "three)")
+    writes_parser.add_argument("--presets", default=None,
+                               metavar="C0,C1,...",
+                               help="write-enabled config presets to "
+                                    "sweep (default astriflash-writes,"
+                                    "flash-sync-writes)")
+    writes_parser.add_argument("--seed", type=int, default=42)
+    writes_parser.add_argument("--jobs", type=int, default=None,
+                               help=jobs_help)
+    writes_parser.add_argument("--backend", default=None,
+                               choices=("scalar", "vector"),
+                               help="execution backend for the sweep "
+                                    "(write-enabled cells always fall "
+                                    "back to scalar, recorded under "
+                                    "the 'writes' fallback reason)")
+    writes_parser.add_argument("--json", dest="json_out", nargs="?",
+                               const="BENCH_writes.json", default=None,
+                               metavar="PATH",
+                               help="also write the sweep as JSON "
+                                    "(bare flag: BENCH_writes.json)")
+    add_snapshot_flags(writes_parser)
 
     loadgen_parser = commands.add_parser(
         "loadgen", help="sweep offered load (QPS) per config preset "
@@ -476,7 +523,7 @@ def cmd_run_all(scale: str, jobs: Optional[int]) -> int:
 
 
 def cmd_report(scale: str, out: str, jobs: Optional[int],
-               telemetry: bool = False) -> int:
+               telemetry: bool = False, writes: bool = False) -> int:
     import time
 
     from repro.harness.report import generate
@@ -512,6 +559,17 @@ def cmd_report(scale: str, out: str, jobs: Optional[int],
                          "(traced, sampled requests)\n")
             handle.write("-" * 58 + "\n")
             handle.write(breakdown + "\n")
+    if writes:
+        from repro.writes import run_writes
+
+        panel = run_writes(scale=scale, jobs=jobs).format_text()
+        print()
+        print(panel)
+        with open(out, "a", encoding="utf-8") as handle:
+            handle.write("\nWrite path: WA and lifetime per "
+                         "admission policy\n")
+            handle.write("-" * 58 + "\n")
+            handle.write(panel + "\n")
     return 0
 
 
@@ -682,6 +740,56 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         fingerprint=bench.fingerprint(),
         artifacts=[args.json_out] if args.json_out else [],
     )
+    return 0
+
+
+def cmd_writes(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.writes import parse_write_ratio_sweep, run_writes
+
+    try:
+        write_ratios = None
+        if args.write_ratio_sweep is not None:
+            write_ratios = parse_write_ratio_sweep(args.write_ratio_sweep)
+        policies = None
+        if args.policies is not None:
+            policies = tuple(part.strip()
+                             for part in args.policies.split(",")
+                             if part.strip())
+        presets = None
+        if args.presets is not None:
+            presets = tuple(part.strip()
+                            for part in args.presets.split(",")
+                            if part.strip())
+        bench = run_writes(
+            args.experiment, scale=args.scale, write_ratios=write_ratios,
+            policies=policies, presets=presets, seed=args.seed,
+            jobs=args.jobs, backend=args.backend,
+        )
+    except ReproError as exc:
+        print(f"writes: {exc}", file=sys.stderr)
+        return 2
+    print(bench.format_text())
+    if args.json_out is not None:
+        bench.write_json(args.json_out)
+        print(f"wrote {args.json_out}")
+    if bench.execution.get("backend") == "vector":
+        _warn_vector_fallback("vector",
+                              bench.execution.get("scalar_cells", 0),
+                              bench.execution.get("fallback_reasons"))
+    _append_ledger(
+        "writes", experiment=args.experiment, scale=bench.scale,
+        preset=bench.config_preset, workload=bench.workload,
+        backend=bench.execution.get("backend", ""),
+        seed=bench.seed, metrics=bench.key_metrics(),
+        fingerprint=bench.fingerprint(),
+        artifacts=[args.json_out] if args.json_out else [],
+    )
+    if not bench.policy_order_ok:
+        print("writes: admission-policy WA ordering violated "
+              "(expected write-through >= write-back >= readiness on "
+              "flash_writes_per_app_write)", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -895,11 +1003,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run-all":
         return cmd_run_all(args.scale, args.jobs)
     if args.command == "report":
-        return cmd_report(args.scale, args.out, args.jobs, args.telemetry)
+        return cmd_report(args.scale, args.out, args.jobs, args.telemetry,
+                          args.writes)
     if args.command == "bench-sweep":
         return cmd_bench_sweep(args.experiment, args.scale, args.json_out)
     if args.command == "chaos":
         return cmd_chaos(args)
+    if args.command == "writes":
+        return cmd_writes(args)
     if args.command == "loadgen":
         return cmd_loadgen(args)
     if args.command == "cache":

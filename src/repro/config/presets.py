@@ -81,6 +81,54 @@ def astriflash_nodp(**overrides) -> SystemConfig:
     return config
 
 
+def _shrink_flash_for_writes(config: SystemConfig) -> None:
+    """Write-path device geometry (DESIGN.md §4j).
+
+    The default 256-plane geometry keeps so much free physical space
+    at harness scale that steady-state GC is unreachable inside a
+    measurement window.  The write presets model a small write-
+    optimized device instead: 8 planes, 8-page blocks (which also
+    erase much faster than the default 256-page blocks), SLC-style
+    50 us programs, and a tight write buffer, so a write-heavy window
+    actually turns the physical space over and the WA/lifetime
+    machinery has something to measure.  Over-provisioning is high
+    (0.9) because the FTL reserves three blocks per plane (open + two
+    free) regardless of size: with 8-page blocks that reserve is a
+    large fraction of a plane, and the usable space left over must
+    still exceed the workload's dirtied footprint or steady-state GC
+    has nothing to compact into.
+    """
+    config.writes = dataclasses.replace(config.writes, enabled=True)
+    config.flash = dataclasses.replace(
+        config.flash,
+        channels=2,
+        dies_per_channel=2,
+        planes_per_die=2,
+        pages_per_block=8,
+        overprovisioning=0.9,
+        program_latency_ns=50_000.0,
+        erase_latency_ns=500_000.0,
+        write_buffer_pages=64,
+        gc_policy="tiny-tail",
+    )
+
+
+def astriflash_writes(**overrides) -> SystemConfig:
+    """AstriFlash with the write path enabled (``repro writes``)."""
+    config = astriflash(**overrides)
+    config.name = "astriflash-writes"
+    _shrink_flash_for_writes(config)
+    return config
+
+
+def flash_sync_writes(**overrides) -> SystemConfig:
+    """Flash-Sync with the write path enabled (``repro writes``)."""
+    config = flash_sync(**overrides)
+    config.name = "flash-sync-writes"
+    _shrink_flash_for_writes(config)
+    return config
+
+
 def os_swap(**overrides) -> SystemConfig:
     config = baseline_config(**overrides)
     config.name = "os-swap"
@@ -103,6 +151,12 @@ _FACTORIES = {
     "astriflash-nodp": astriflash_nodp,
     "os-swap": os_swap,
     "flash-sync": flash_sync,
+    # Write-path presets (DESIGN.md §4j): in the factory map so
+    # make_config and the `repro writes` sweep can build them, but
+    # outside EVALUATED_CONFIG_NAMES — the paper's figures stay on the
+    # seven read-dominant configurations.
+    "astriflash-writes": astriflash_writes,
+    "flash-sync-writes": flash_sync_writes,
 }
 
 

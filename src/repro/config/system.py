@@ -279,6 +279,60 @@ class FaultConfig:
 
 
 @dataclass
+class WritesConfig:
+    """Write-path knobs for :mod:`repro.writes` (DESIGN.md §4j).
+
+    Disabled by default: with ``enabled=False`` no admission policy is
+    constructed, dirty evictions stay free, and the flash/BC hot paths
+    take their original branches, keeping results bit-identical to the
+    golden fixtures.  The readiness sketch draws from its own seeded
+    hash stream (never the sim RNG), so two runs with the same
+    ``sketch_seed`` make identical admission decisions.
+    """
+
+    enabled: bool = False
+    #: DRAM→flash admission policy: ``write-back`` persists a page when
+    #: its dirty way is evicted, ``write-through`` issues a flash
+    #: program on every store (dirty evictions are already persisted
+    #: and elided), ``readiness`` is a Flashield-style filter that
+    #: admits a dirty eviction only once the page has been read at
+    #: least ``readiness_reads`` times within the sketch window.
+    admission_policy: str = "write-back"
+    #: Reads a page must accumulate before a dirty eviction is admitted.
+    readiness_reads: int = 2
+    #: Read observations per sketch epoch; on epoch rollover the
+    #: counters are halved (aging), so stale popularity decays.
+    readiness_window: int = 4096
+    #: log2 of the counters per sketch row.
+    sketch_bits: int = 12
+    #: Hash rows in the count-min sketch.
+    sketch_rows: int = 2
+    #: Sketch hash seed, independent of the simulation seed.
+    sketch_seed: int = 0x5EED
+    #: Program/erase cycles a block survives; drives the lifetime
+    #: estimate derived from the measured erase rate.
+    pe_cycle_budget: int = 3000
+
+    POLICIES = ("write-through", "write-back", "readiness")
+
+    def validate(self) -> None:
+        if self.admission_policy not in self.POLICIES:
+            raise ConfigurationError(
+                f"unknown admission_policy {self.admission_policy!r}"
+            )
+        if self.readiness_reads < 1:
+            raise ConfigurationError("readiness_reads must be >= 1")
+        if self.readiness_window < 1:
+            raise ConfigurationError("readiness_window must be >= 1")
+        if not 1 <= self.sketch_bits <= 24:
+            raise ConfigurationError("sketch_bits must be in [1, 24]")
+        if self.sketch_rows < 1:
+            raise ConfigurationError("sketch_rows must be >= 1")
+        if self.pe_cycle_budget < 1:
+            raise ConfigurationError("pe_cycle_budget must be >= 1")
+
+
+@dataclass
 class OsConfig:
     """Costs of the traditional OS paging path (Sec. II-C)."""
 
@@ -358,6 +412,7 @@ class SystemConfig:
     dram_cache: DramCacheConfig = field(default_factory=DramCacheConfig)
     flash: FlashConfig = field(default_factory=FlashConfig)
     faults: FaultConfig = field(default_factory=FaultConfig)
+    writes: WritesConfig = field(default_factory=WritesConfig)
     os: OsConfig = field(default_factory=OsConfig)
     ult: UltConfig = field(default_factory=UltConfig)
     tlb: TlbConfig = field(default_factory=TlbConfig)
@@ -371,6 +426,7 @@ class SystemConfig:
         self.dram_cache.validate()
         self.flash.validate()
         self.faults.validate()
+        self.writes.validate()
         self.scale.validate()
 
     # -- derived, scaled quantities ----------------------------------------
@@ -395,6 +451,7 @@ class SystemConfig:
             dram_cache=dataclasses.replace(self.dram_cache),
             flash=dataclasses.replace(self.flash),
             faults=dataclasses.replace(self.faults),
+            writes=dataclasses.replace(self.writes),
             os=dataclasses.replace(self.os),
             ult=dataclasses.replace(self.ult),
             tlb=dataclasses.replace(self.tlb),

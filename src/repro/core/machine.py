@@ -68,12 +68,24 @@ class Machine:
         if mode is not PagingMode.DRAM_ONLY:
             self.flash = FlashDevice(self.engine, config.flash,
                                      total_flash_pages,
-                                     faults=config.faults)
+                                     faults=config.faults,
+                                     writes=config.writes)
+        # DRAM→flash admission policy (DESIGN.md §4j): built only when
+        # the write path is enabled, so the default controllers keep
+        # their original branches.  Imported lazily — the writes
+        # package pulls the harness, which imports this module.
+        self.admission = None
+        if (config.writes.enabled
+                and mode in (PagingMode.ASTRIFLASH, PagingMode.FLASH_SYNC)):
+            from repro.writes.admission import make_admission
+
+            self.admission = make_admission(config.writes)
         if mode in (PagingMode.ASTRIFLASH, PagingMode.FLASH_SYNC):
             self.dram_cache = DramCache(
                 self.engine, config.dram_cache,
                 cache_pages=config.scaled_dram_cache_pages,
                 flash=self.flash,
+                admission=self.admission,
             )
         elif mode is PagingMode.OS_SWAP:
             resident = ResidentSetManager(config.scaled_dram_cache_pages)

@@ -379,6 +379,16 @@ class Runner:
                 f"flash.{k}": v for k, v in
                 self.machine.flash.stats.as_dict().items()
             })
+            if self.machine.flash.writes is not None:
+                # Window-scoped write-path telemetry (DESIGN.md §4j):
+                # deltas against the start_measurement baselines, so
+                # warmup-era writebacks never pollute the WA factor.
+                # Gated on the write path, so default-path counter
+                # sets (and goldens) are unchanged.
+                counters.update({
+                    f"writes.{k}": v for k, v in
+                    self.machine.flash.gc.write_window().items()
+                })
         # Censoring accounting: everything still queued or in flight
         # when the run stopped was offered to the system but never
         # reached the completed-sample percentiles.

@@ -28,7 +28,8 @@ class DramCache:
     """A hardware-managed, page-granularity DRAM cache over flash."""
 
     def __init__(self, engine: Engine, config: DramCacheConfig,
-                 cache_pages: int, flash: FlashDevice) -> None:
+                 cache_pages: int, flash: FlashDevice,
+                 admission=None) -> None:
         self.engine = engine
         self.config = config
         self.timing: DramCacheTiming = build_timing(config)
@@ -36,10 +37,12 @@ class DramCache:
             num_pages=cache_pages, associativity=config.associativity
         )
         self.backside = BacksideController(
-            engine, config, self.timing, self.organization, flash
+            engine, config, self.timing, self.organization, flash,
+            admission=admission,
         )
         self.frontside = FrontsideController(
-            engine, config, self.timing, self.organization, self.backside
+            engine, config, self.timing, self.organization, self.backside,
+            admission=admission,
         )
         self.flash = flash
         self.stats = CounterSet("dram-cache")

@@ -101,12 +101,17 @@ class BacksideController:
     def __init__(self, engine: Engine, config: DramCacheConfig,
                  timing: DramCacheTiming,
                  organization: DramCacheOrganization,
-                 flash: FlashDevice) -> None:
+                 flash: FlashDevice,
+                 admission=None) -> None:
         self.engine = engine
         self.config = config
         self.timing = timing
         self.organization = organization
         self.flash = flash
+        # DRAM→flash admission policy (DESIGN.md §4j): None unless the
+        # write path is enabled, so dirty evictions keep their original
+        # unconditional-writeback branch and goldens stay bit-identical.
+        self._admission = admission
         self.footprint: Optional[FootprintPredictor] = None
         if config.footprint_enabled:
             self.footprint = FootprintPredictor(
@@ -322,6 +327,25 @@ class BacksideController:
                 evicted.page, evicted.access_count, fetched
             )
         if evicted is not None and evicted.dirty:
+            admission = self._admission
+            if admission is not None:
+                if admission.propagate_writes:
+                    # Write-through already programmed every store;
+                    # the evicted copy carries no new data.
+                    self.flash.stats.add("writeback_elided")
+                    return
+                if not admission.admit_writeback(evicted.page):
+                    # Flashield-style drop: the page never earned
+                    # flash admission (too few recent reads); it
+                    # refaults from the backing copy instead of
+                    # burning a program.  Counted on the flash stats
+                    # because BC counters never reach results.
+                    self.flash.stats.add("admission_rejects")
+                    if self._tracer is not None:
+                        self._tracer.instant(
+                            "bc", "admission_reject", self.engine.now,
+                            {"page": evicted.page})
+                    return
             # Copy into the evict buffer (blocking when full), then
             # write back off the critical path.
             grant = self.evict_buffer.acquire()
@@ -342,6 +366,23 @@ class BacksideController:
         self.evict_buffer.release()
         self.stats.add("writebacks_completed")
 
+    def write_through(self, page: int) -> None:
+        """Write-through admission hook: the FC calls this on every
+        store; the program runs through the same bounded evict buffer
+        and flash write path as a dirty writeback, off the critical
+        path of the store itself."""
+        spawn(self.engine, self._write_through_process(page),
+              name=f"bc-writethrough:{page}")
+
+    def _write_through_process(self, page: int):
+        grant = self.evict_buffer.acquire()
+        if grant is not None:
+            self.stats.add("evict_buffer_stalls")
+            yield grant
+        yield self.timing.page_install_ns  # row read into the buffer
+        self.stats.add("write_through_writes")
+        yield from self._writeback(page)
+
     @property
     def outstanding_misses(self) -> int:
         return len(self.msr)
@@ -353,12 +394,15 @@ class FrontsideController:
     def __init__(self, engine: Engine, config: DramCacheConfig,
                  timing: DramCacheTiming,
                  organization: DramCacheOrganization,
-                 backside: BacksideController) -> None:
+                 backside: BacksideController,
+                 admission=None) -> None:
         self.engine = engine
         self.config = config
         self.timing = timing
         self.organization = organization
         self.backside = backside
+        # Write-path admission policy; None on the default path.
+        self._admission = admission
         self.stats = CounterSet("frontside")
         # Bound handles for the per-access hot path.
         self._accesses = self.stats.counter("accesses")
@@ -380,6 +424,16 @@ class FrontsideController:
         completion signal that fires when the refill lands.
         """
         self._accesses.incr()
+        admission = self._admission
+        if admission is not None:
+            if is_write:
+                # Application stores, window-scoped later by the GC
+                # baselines; on the flash stats so they reach results.
+                self.backside.flash.stats.add("app_writes")
+                if admission.propagate_writes:
+                    self.backside.write_through(page)
+            else:
+                admission.observe_read(page)
         if self.organization.lookup(page, is_write):
             return self._hit_result
 

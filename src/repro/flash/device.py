@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.config.system import FaultConfig, FlashConfig
+from repro.config.system import FaultConfig, FlashConfig, WritesConfig
 from repro.errors import CapacityError, ConfigurationError
 from repro.faults.plan import FaultPlan
 from repro.flash.ftl import PageMappingFtl
@@ -68,7 +68,8 @@ class FlashDevice:
 
     def __init__(self, engine: Engine, config: FlashConfig,
                  num_logical_pages: int,
-                 faults: Optional[FaultConfig] = None) -> None:
+                 faults: Optional[FaultConfig] = None,
+                 writes: Optional[WritesConfig] = None) -> None:
         if num_logical_pages < 1:
             raise ConfigurationError("flash needs at least one logical page")
         self.engine = engine
@@ -99,6 +100,15 @@ class FlashDevice:
         self.faults: Optional[FaultPlan] = None
         if faults is not None and faults.enabled:
             self.faults = FaultPlan(faults, config.num_planes, self.ftl)
+        # Write-path accounting (DESIGN.md §4j): None unless explicitly
+        # enabled, so the default path adds no counters and stays
+        # byte-identical to the golden fixtures.  Holding the config
+        # (not a plan object) is enough — the write path itself is
+        # always modelled; enablement only turns on the host/device
+        # write bookkeeping and the BC admission policies.
+        self.writes: Optional[WritesConfig] = None
+        if writes is not None and writes.enabled:
+            self.writes = writes
         # Device-side write cache: writes are acknowledged once
         # buffered; a background drain programs them to the planes.
         self.write_buffer = Server(engine, capacity=config.write_buffer_pages,
@@ -343,6 +353,14 @@ class FlashDevice:
         while self.ftl.gc_pressure(target_plane):
             self.gc.maybe_collect(target_plane)
             self.stats.add("write_gc_stalls")
+            # Only hopeless stalls count toward the capacity abort:
+            # while the plane still holds reclaimable garbage (or a GC
+            # pass is mid-flight) the writer is merely queued behind
+            # GC, and under a write burst many writers legitimately
+            # wait several passes for a free page.
+            if (self.ftl.has_reclaimable(target_plane)
+                    or self.gc.plane_collecting(target_plane)):
+                stalls = 0
             stalls += 1
             if stalls > 64:
                 raise CapacityError(
@@ -352,11 +370,12 @@ class FlashDevice:
             yield self.config.erase_latency_ns / 4
         plane_index = self.ftl.write(request.logical_page)
         request.plane_index = plane_index
-        self.stats.add("requests")
-        self.stats.add("writes")
-        if self.gc.plane_collecting(plane_index):
-            request.blocked_by_gc = True
-            self.stats.add("requests_blocked_by_gc")
+        # Writes share the per-plane accounting path with reads
+        # (requests / kind / blocked-by-GC), so mixed read/write
+        # queueing shows up in the same telemetry.
+        plane = self._start_request(request)
+        if self.writes is not None:
+            self.stats.add("host_writes")
         # Acknowledge the host: the data is durable in the device cache.
         request.complete_time = self.engine.now
         request.signal.fire(request)
@@ -367,7 +386,6 @@ class FlashDevice:
             yield grant
         yield self._channel_transfer_ns
         channel.release()
-        plane = self.planes[plane_index]
         grant = plane.acquire()
         if grant is not None:
             yield grant
@@ -382,6 +400,8 @@ class FlashDevice:
                             {"page": request.logical_page})
         self.write_buffer.release()
         self.stats.add("programs_drained")
+        if self.writes is not None:
+            self.stats.add("device_writes")
         # Programs may create free-block pressure; GC runs off the
         # critical path (Sec. IV-B: writebacks are de-prioritized).
         self.gc.maybe_collect(plane_index)

@@ -218,6 +218,16 @@ class PageMappingFtl:
         plane = self.planes[plane_index]
         return len(plane.free_blocks) < 2
 
+    def has_reclaimable(self, plane_index: int) -> bool:
+        """True when a GC pass on the plane could free space.
+
+        Distinguishes transient pressure (garbage exists, GC just has
+        to catch up — callers should keep waiting) from genuine
+        capacity exhaustion (every closed block fully valid — waiting
+        is hopeless).
+        """
+        return self.planes[plane_index].gc_victim() is not None
+
     def collect(self, plane_index: int) -> Tuple[int, int]:
         """Run one GC pass on a plane.
 

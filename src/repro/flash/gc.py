@@ -10,7 +10,7 @@ was collecting — the paper's "blocked requests" metric (≈4 % at
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.sim import spawn
 from repro.stats import CounterSet
@@ -31,6 +31,12 @@ class GarbageCollector:
         # device sims keep reporting whole-run fractions.
         self._window_requests = 0.0
         self._window_blocked = 0.0
+        # Write-path window baselines (DESIGN.md §4j): snapshots of the
+        # cumulative write counters at the warmup/measurement boundary,
+        # the same pattern as the blocked-fraction baselines above.
+        self._window_device: Dict[str, float] = {}
+        self._window_ftl: Dict[str, float] = {}
+        self._window_start_ns = 0.0
 
     def plane_collecting(self, plane_index: int) -> bool:
         """True while a GC pass occupies ``plane_index``."""
@@ -80,6 +86,10 @@ class GarbageCollector:
                 self.stats.add("passes")
                 self.stats.add("migrated_pages", migrated)
                 self.stats.add("busy_ns", busy)
+                if device.writes is not None:
+                    # GC page moves are device-side programs: the write
+                    # amplification the host never asked for.
+                    device.stats.add("device_writes", migrated)
         finally:
             self._active[plane_index] = False
 
@@ -121,6 +131,8 @@ class GarbageCollector:
                     migrated * slice_ns
                     + erased * device.config.erase_latency_ns,
                 )
+                if device.writes is not None:
+                    device.stats.add("device_writes", migrated)
         finally:
             self._active[plane_index] = False
 
@@ -136,6 +148,14 @@ class GarbageCollector:
         stats = self.device.stats
         self._window_requests = stats.get("requests")
         self._window_blocked = stats.get("requests_blocked_by_gc")
+        self._window_device = {
+            key: stats.get(key) for key in _DEVICE_WRITE_KEYS
+        }
+        ftl_stats = self.device.ftl.stats
+        self._window_ftl = {
+            key: ftl_stats.get(key) for key in _FTL_WRITE_KEYS
+        }
+        self._window_start_ns = self.device.engine.now
 
     def blocked_fraction(self) -> float:
         """Fraction of foreground requests that arrived during GC,
@@ -147,3 +167,110 @@ class GarbageCollector:
         if requests <= 0:
             return 0.0
         return blocked / requests
+
+    # ------------------------------------------------------- write path --
+
+    def _ftl_window(self) -> Dict[str, float]:
+        ftl_stats = self.device.ftl.stats
+        base = self._window_ftl
+        return {
+            key: ftl_stats.get(key) - base.get(key, 0.0)
+            for key in _FTL_WRITE_KEYS
+        }
+
+    def wa_factor(self) -> float:
+        """Measured device-level write amplification, scoped to the
+        measurement window: flash page programs (host programs plus GC
+        migrations) per host program.  ``>= 1.0`` by construction —
+        every host write is programmed exactly once and GC only ever
+        adds migrations on top.  ``1.0`` when the window saw no host
+        writes (no writes, nothing amplified)."""
+        ftl = self._ftl_window()
+        host = ftl["writes"]
+        if host <= 0:
+            return 1.0
+        return (host + ftl["gc_migrated_pages"]) / host
+
+    def lifetime_years(self,
+                       pe_cycle_budget: Optional[int] = None
+                       ) -> Optional[float]:
+        """P/E-budget lifetime estimate from the window's erase rate.
+
+        Remaining erase budget (``pe_cycle_budget`` per block, minus
+        erases already consumed) divided by the measured erase rate in
+        *simulated* time.  ``None`` when the window saw no erases (the
+        estimate is unbounded).  At harness scale the dataset and the
+        window are shrunk by the same machinery as everything else, so
+        read this as a model-scale figure of merit for comparing
+        policies, not a calendar prediction for a 256 GiB device.
+        """
+        if pe_cycle_budget is None:
+            writes = self.device.writes
+            pe_cycle_budget = writes.pe_cycle_budget if writes else 3000
+        erases = self._ftl_window()["gc_erases"]
+        window_ns = self.device.engine.now - self._window_start_ns
+        if erases <= 0 or window_ns <= 0:
+            return None
+        ftl = self.device.ftl
+        total_blocks = sum(len(plane.blocks) for plane in ftl.planes)
+        consumed = self.device.ftl.stats.get("gc_erases")
+        remaining = max(0.0, total_blocks * pe_cycle_budget - consumed)
+        erases_per_ns = erases / window_ns
+        ns_per_year = 365.25 * 24 * 3600 * 1e9
+        return remaining / erases_per_ns / ns_per_year
+
+    def write_window(self) -> Dict[str, float]:
+        """Measurement-window write-path telemetry (DESIGN.md §4j).
+
+        All values are deltas against the :meth:`start_measurement`
+        baselines, matching the ``blocked_fraction`` windowing:
+        ``host_writes`` counts host programs (dirty writebacks plus
+        write-through stores), ``device_writes`` adds the GC page
+        moves, ``wa_factor`` is their ratio, and
+        ``flash_writes_per_app_write`` is the Flashield-style
+        end-to-end amplification (device programs per application
+        store — below 1.0 when the DRAM cache coalesces stores).
+        ``lifetime_years`` is present only when the window erased."""
+        device = self.device
+        stats = device.stats
+        base = self._window_device
+        dev = {
+            key: stats.get(key) - base.get(key, 0.0)
+            for key in _DEVICE_WRITE_KEYS
+        }
+        ftl = self._ftl_window()
+        host = ftl["writes"]
+        migrated = ftl["gc_migrated_pages"]
+        device_writes = host + migrated
+        app_writes = dev["app_writes"]
+        window: Dict[str, float] = {
+            "host_writes": host,
+            "device_writes": device_writes,
+            "app_writes": app_writes,
+            "admission_rejects": dev["admission_rejects"],
+            "writeback_elided": dev["writeback_elided"],
+            "gc_migrated_pages": migrated,
+            "gc_erases": ftl["gc_erases"],
+            "wa_factor": self.wa_factor(),
+            "flash_writes_per_app_write": (
+                device_writes / app_writes if app_writes > 0 else 0.0
+            ),
+        }
+        lifetime = self.lifetime_years()
+        if lifetime is not None:
+            window["lifetime_years"] = lifetime
+        return window
+
+
+#: Cumulative device counters snapshotted at the measurement boundary.
+#: ``host_writes``/``device_writes`` are the gated duplicates of the
+#: FTL-derived figures; the admission counters only exist on the device
+#: because the BC's own stats never reach :class:`SimulationResult`.
+_DEVICE_WRITE_KEYS = (
+    "host_writes",
+    "device_writes",
+    "app_writes",
+    "admission_rejects",
+    "writeback_elided",
+)
+_FTL_WRITE_KEYS = ("writes", "gc_migrated_pages", "gc_erases")

@@ -19,7 +19,7 @@ compare — plain ``Dict[str, float]`` on the wire, structured
 
 :func:`bench_view` is the adapter layer: it recognizes any of the
 repo's schema-stamped bench payloads (kernel, sweep, chaos, loadgen,
-profile) and projects it onto the namespace, together with per-metric
+writes, profile) and projects it onto the namespace, together with per-metric
 *comparison policies* (exact, floor, relative, informational) that
 drive the regression verdicts in :mod:`repro.metrics.diff`.
 """
@@ -203,6 +203,23 @@ def machine_metrics(machine, **labels: str) -> "MetricSet":
         metrics.add("flash/erase_count_mean",
                     sum(counts) / len(counts), **labels)
     metrics.add("flash/wear_imbalance", flash.ftl.wear_imbalance(), **labels)
+    # Write-path figures (DESIGN.md §4j), gated exactly like the
+    # counters they mirror: invisible unless the preset enabled writes.
+    writes_cfg = getattr(flash, "writes", None)
+    if writes_cfg is not None:
+        window = flash.gc.write_window()
+        metrics.add("writes/wa_factor", window["wa_factor"], **labels)
+        metrics.add("writes/host_writes", window["host_writes"], **labels)
+        metrics.add("writes/device_writes", window["device_writes"],
+                    **labels)
+        metrics.add("writes/flash_writes_per_app_write",
+                    window["flash_writes_per_app_write"], **labels)
+        metrics.add("writes/admission_rejects",
+                    window["admission_rejects"],
+                    policy=writes_cfg.admission_policy, **labels)
+        lifetime = window.get("lifetime_years")
+        if lifetime is not None:
+            metrics.add("writes/lifetime_years", lifetime, **labels)
     return metrics
 
 
@@ -359,6 +376,42 @@ def _chaos_view(payload: Mapping) -> BenchView:
     return view
 
 
+def _writes_view(payload: Mapping) -> BenchView:
+    view = BenchView(verb="writes",
+                     fingerprint=_cells_fingerprint(payload))
+    view.metrics["writes/policy_order_ok"] = \
+        1.0 if payload.get("policy_order_ok") else 0.0
+    view.policies["writes/policy_order_ok"] = {"mode": "exact"}
+    for cell in payload.get("cells", ()):
+        labels = {"preset": cell.get("preset", ""),
+                  "policy": cell.get("policy", ""),
+                  "ratio": format(cell.get("write_ratio", 0.0), "g")}
+        failed_key = format_key("writes/failed", labels)
+        view.metrics[failed_key] = 1.0 if cell.get("failed") else 0.0
+        view.policies[failed_key] = {"mode": "exact"}
+        if cell.get("failed"):
+            continue
+        # Event counts and the WA ratios they derive are deterministic
+        # per seed, so any drift is a behavior change worth flagging.
+        for stat in ("host_writes", "device_writes", "app_writes",
+                     "admission_rejects", "writeback_elided",
+                     "gc_migrated_pages", "gc_erases",
+                     "wa_factor", "flash_writes_per_app_write"):
+            if cell.get(stat) is not None:
+                key = format_key(f"writes/{stat}", labels)
+                view.metrics[key] = float(cell[stat])
+                view.policies[key] = {"mode": "exact"}
+        # Latency/throughput/lifetime figures are recorded but never
+        # gated — they move with any timing tweak elsewhere.
+        for stat in ("service_p99_ns", "service_mean_ns",
+                     "throughput_jobs_per_s", "lifetime_years"):
+            if cell.get(stat) is not None:
+                key = format_key(f"writes/{stat}", labels)
+                view.metrics[key] = float(cell[stat])
+                view.policies[key] = {"mode": "info"}
+    return view
+
+
 def _loadgen_view(payload: Mapping) -> BenchView:
     view = BenchView(verb="loadgen",
                      fingerprint=_cells_fingerprint(payload))
@@ -419,6 +472,8 @@ def bench_view(payload: Mapping) -> BenchView:
         return _kernel_view(payload)
     if "rber_points" in payload:
         return _chaos_view(payload)
+    if "write_ratio_points" in payload:
+        return _writes_view(payload)
     if "knees" in payload:
         return _loadgen_view(payload)
     if "wall_seconds_snapshots_off" in payload:
@@ -427,5 +482,6 @@ def bench_view(payload: Mapping) -> BenchView:
         return _profile_view(payload)
     raise ReproError(
         "unrecognized bench payload (expected one of the BENCH_kernel/"
-        "BENCH_sweep/BENCH_chaos/BENCH_loadgen/PROFILE_* schemas)"
+        "BENCH_sweep/BENCH_chaos/BENCH_loadgen/BENCH_writes/PROFILE_* "
+        "schemas)"
     )

@@ -368,7 +368,9 @@ def scan_durations(d1: List[float], flat: float,
 
 def classify_shape(mode, num_cores: int, open_loop: bool = False,
                    tracing: bool = False, faulted: bool = False,
-                   finite_trace: bool = False) -> Tuple[Optional[str], str]:
+                   finite_trace: bool = False,
+                   writes_enabled: bool = False
+                   ) -> Tuple[Optional[str], str]:
     """Pure run-shape gate: which vector loop (if any) fits the shape.
 
     Returns ``(kind, reason)`` where kind is ``"fused"`` (single-core
@@ -402,6 +404,11 @@ def classify_shape(mode, num_cores: int, open_loop: bool = False,
     if mode is PagingMode.FLASH_SYNC:
         if faulted:
             return None, "fault plan active (per-read outcome draws)"
+        if writes_enabled:
+            # Admission hooks run per access (sketch observes, write-
+            # through spawns) — the batched hit-run probe would skip
+            # them, so the write path keeps the scalar loop.
+            return None, "writes"
         if num_cores != 1:
             return None, ("multi-core flash-sync (cores share the "
                           "DRAM cache and flash path)")
@@ -419,10 +426,13 @@ def classify(runner) -> Tuple[Optional[str], str]:
                     and not arrivals.cycle)
     faulted = (runner.machine.flash is not None
                and runner.machine.flash.faults is not None)
+    writes_enabled = (runner.machine.flash is not None
+                      and runner.machine.flash.writes is not None)
     return classify_shape(
         runner.config.mode, runner.config.num_cores,
         open_loop=open_loop, tracing=runner._tracer is not None,
         faulted=faulted, finite_trace=finite_trace,
+        writes_enabled=writes_enabled,
     )
 
 
@@ -647,7 +657,9 @@ def execution_summary(backend: str, shape_counts) -> Dict[str, object]:
     """Deterministic per-sweep backend accounting for bench schemas.
 
     ``shape_counts`` is an iterable of ``(mode, num_cores, open_loop,
-    faulted, count)`` tuples describing the runs a sweep issued.  Each
+    faulted, count)`` tuples describing the runs a sweep issued — or
+    six-element tuples with ``writes_enabled`` inserted before the
+    count (the writes sweep; older callers keep the 5-tuple).  Each
     shape is classified via :func:`classify_shape` (config-derived
     facts only — never run results, which may come from the cache), so
     the summary is byte-identical across invocations of the same
@@ -663,13 +675,19 @@ def execution_summary(backend: str, shape_counts) -> Dict[str, object]:
     }
     kinds: Dict[str, int] = summary["vector_kinds"]
     reasons: Dict[str, int] = summary["fallback_reasons"]
-    for mode, num_cores, open_loop, faulted, count in shape_counts:
+    for shape in shape_counts:
+        if len(shape) == 6:
+            mode, num_cores, open_loop, faulted, writes_enabled, count = shape
+        else:
+            mode, num_cores, open_loop, faulted, count = shape
+            writes_enabled = False
         if backend != "vector":
             summary["scalar_cells"] += count
             continue
         kind, reason = classify_shape(mode, num_cores,
                                       open_loop=open_loop,
-                                      faulted=faulted)
+                                      faulted=faulted,
+                                      writes_enabled=writes_enabled)
         if kind is None:
             summary["scalar_cells"] += count
             reasons[reason] = reasons.get(reason, 0) + count

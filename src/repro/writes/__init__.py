@@ -1,0 +1,46 @@
+"""Write-path subsystem: DRAM→flash admission policies, write
+amplification, and device lifetime (DESIGN.md §4j).
+
+Disabled by default (``WritesConfig.enabled=False``): nothing here is
+constructed and the DRAM-cache/flash hot paths take their original
+branches, keeping the golden fixtures bit-identical.  When enabled,
+:func:`make_admission` builds the configured
+:class:`~repro.writes.admission.AdmissionPolicy` and the machine
+threads it through both DRAM-cache controllers; the driver in
+:mod:`repro.writes.bench` sweeps policies and write ratios into the
+schema-stamped ``BENCH_writes.json``.
+"""
+
+from repro.writes.admission import (
+    AdmissionPolicy,
+    ReadinessAdmission,
+    ReadinessSketch,
+    WriteBackAdmission,
+    WriteThroughAdmission,
+    make_admission,
+)
+from repro.writes.bench import (
+    DEFAULT_WRITE_RATIOS,
+    WRITES_SCHEMA_VERSION,
+    WritesBench,
+    WritesCell,
+    parse_write_ratio_sweep,
+    run_writes,
+    writes_overrides,
+)
+
+__all__ = [
+    "AdmissionPolicy",
+    "DEFAULT_WRITE_RATIOS",
+    "ReadinessAdmission",
+    "ReadinessSketch",
+    "WRITES_SCHEMA_VERSION",
+    "WriteBackAdmission",
+    "WriteThroughAdmission",
+    "WritesBench",
+    "WritesCell",
+    "make_admission",
+    "parse_write_ratio_sweep",
+    "run_writes",
+    "writes_overrides",
+]

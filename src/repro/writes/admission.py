@@ -1,0 +1,143 @@
+"""DRAM→flash admission policies (DESIGN.md §4j).
+
+The backside controller consults an :class:`AdmissionPolicy` before
+persisting a dirty way it is about to evict:
+
+- ``write-back`` admits every dirty eviction (the classic cache).
+- ``write-through`` issues a flash program on *every* store instead,
+  so dirty evictions are already persistent and the writeback is
+  elided.
+- ``readiness`` is the Flashield-style filter (PAPERS.md): a page
+  earns flash admission only after it has been read at least K times
+  within a sliding window, tracked by a small seeded count-min sketch.
+  Cold dirty pages are dropped on eviction — in the modelled
+  flash-as-memory setting the backing dataset is the source of truth
+  and a rejected page simply refaults from its stale copy, which is
+  exactly the re-read-probability trade Flashield quantifies.
+
+Policies are deterministic: the sketch hashes with salts derived from
+``WritesConfig.sketch_seed`` (its own stream, never the simulation
+RNG), so two runs with the same config make identical decisions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.config.system import WritesConfig
+
+_MASK64 = (1 << 64) - 1
+# Fibonacci-hash multiplier (golden-ratio reciprocal in 64 bits).
+_HASH_MULT = 0x9E3779B97F4A7C15
+
+
+class ReadinessSketch:
+    """Seeded count-min sketch over page read counts, with aging.
+
+    ``rows`` hash rows of ``2**bits`` counters each; an estimate is the
+    minimum over rows.  Every ``window`` observations all counters are
+    halved, so popularity decays and "K reads within a window" means a
+    recent window, not forever.
+    """
+
+    def __init__(self, rows: int, bits: int, window: int,
+                 seed: int) -> None:
+        self.rows = rows
+        self.bits = bits
+        self.window = window
+        self._shift = 64 - bits
+        self._size = 1 << bits
+        salts = random.Random(seed)
+        self._salts: List[int] = [
+            salts.getrandbits(64) | 1 for _ in range(rows)
+        ]
+        self._counters: List[List[int]] = [
+            [0] * self._size for _ in range(rows)
+        ]
+        self._observed = 0
+
+    def _index(self, page: int, salt: int) -> int:
+        return (((page ^ salt) * _HASH_MULT) & _MASK64) >> self._shift
+
+    def observe(self, page: int) -> None:
+        """Record one read of ``page``."""
+        for row, salt in enumerate(self._salts):
+            self._counters[row][self._index(page, salt)] += 1
+        self._observed += 1
+        if self._observed >= self.window:
+            self._observed = 0
+            for counters in self._counters:
+                for index, value in enumerate(counters):
+                    if value:
+                        counters[index] = value >> 1
+
+    def estimate(self, page: int) -> int:
+        """Upper-bound estimate of recent reads of ``page``."""
+        return min(
+            self._counters[row][self._index(page, salt)]
+            for row, salt in enumerate(self._salts)
+        )
+
+
+class AdmissionPolicy:
+    """Base policy: what the BC asks before persisting an eviction."""
+
+    kind = "base"
+    #: True when every store is pushed straight to flash (the FC calls
+    #: the BC's write-through hook), which also makes dirty evictions
+    #: already-persistent.
+    propagate_writes = False
+
+    def observe_read(self, page: int) -> None:
+        """A frontside read access touched ``page``."""
+
+    def admit_writeback(self, page: int) -> bool:
+        """Should the dirty eviction of ``page`` be written to flash?"""
+        return True
+
+
+class WriteBackAdmission(AdmissionPolicy):
+    """Admit every dirty eviction (classic write-back cache)."""
+
+    kind = "write-back"
+
+
+class WriteThroughAdmission(AdmissionPolicy):
+    """Program flash on every store; evictions carry no new data."""
+
+    kind = "write-through"
+    propagate_writes = True
+
+    def admit_writeback(self, page: int) -> bool:
+        return False
+
+
+class ReadinessAdmission(AdmissionPolicy):
+    """Flashield-style filter: admit only pages read >= K recently."""
+
+    kind = "readiness"
+
+    def __init__(self, config: WritesConfig) -> None:
+        self.required_reads = config.readiness_reads
+        self.sketch = ReadinessSketch(
+            rows=config.sketch_rows,
+            bits=config.sketch_bits,
+            window=config.readiness_window,
+            seed=config.sketch_seed,
+        )
+
+    def observe_read(self, page: int) -> None:
+        self.sketch.observe(page)
+
+    def admit_writeback(self, page: int) -> bool:
+        return self.sketch.estimate(page) >= self.required_reads
+
+
+def make_admission(config: WritesConfig) -> AdmissionPolicy:
+    """Build the configured policy (config must be enabled and valid)."""
+    if config.admission_policy == "write-through":
+        return WriteThroughAdmission()
+    if config.admission_policy == "readiness":
+        return ReadinessAdmission(config)
+    return WriteBackAdmission()
